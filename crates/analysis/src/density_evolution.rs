@@ -1,0 +1,153 @@
+//! Density-evolution analysis of the peeling decoder (paper §5).
+//!
+//! Theorem 5.1: decoding a set of n → ∞ source symbols from the first ηn
+//! coded symbols succeeds with probability → 1 iff
+//!
+//! ```text
+//! ∀ q ∈ (0, 1] :  f(q) = exp((1/α)·Ei(−q/(αη))) < q.
+//! ```
+//!
+//! This module evaluates `f`, solves for the threshold η*(α) (Corollary 5.2
+//! gives η*(0.5) ≈ 1.35), and iterates the density-evolution map to predict
+//! the fraction of symbols recovered after receiving a given number of coded
+//! symbols (the DE curve of Fig. 6).
+
+use crate::ei::ei_negative;
+
+/// The density-evolution update map `f(q)` for parameters `alpha`, `eta`.
+pub fn de_map(alpha: f64, eta: f64, q: f64) -> f64 {
+    assert!(alpha > 0.0 && eta > 0.0);
+    assert!(q > 0.0 && q <= 1.0);
+    ((1.0 / alpha) * ei_negative(-q / (alpha * eta))).exp()
+}
+
+/// Checks the Theorem-5.1 condition `∀q: f(q) < q` on a dense grid.
+pub fn decodable(alpha: f64, eta: f64) -> bool {
+    // Log-spaced grid emphasising small q (where the condition is tightest
+    // for large α) plus a linear sweep of the bulk.
+    let mut qs: Vec<f64> = Vec::with_capacity(4_096);
+    let mut q = 1e-7f64;
+    while q < 1e-2 {
+        qs.push(q);
+        q *= 1.15;
+    }
+    let steps = 3_000;
+    for i in 1..=steps {
+        qs.push(i as f64 / steps as f64);
+    }
+    qs.iter().all(|&q| de_map(alpha, eta, q) < q)
+}
+
+/// The threshold η*(α): the smallest overhead at which decoding succeeds
+/// asymptotically. Solved by bisection to `tolerance`.
+pub fn threshold(alpha: f64, tolerance: f64) -> f64 {
+    assert!(alpha > 0.0);
+    let mut lo = 1.0f64; // below the information-theoretic minimum: never decodable
+    let mut hi = 2.0f64;
+    // Grow `hi` until decodable (α close to 1 needs > 3).
+    while !decodable(alpha, hi) {
+        hi *= 1.5;
+        assert!(hi < 1e3, "threshold search diverged for alpha = {alpha}");
+    }
+    while hi - lo > tolerance {
+        let mid = 0.5 * (lo + hi);
+        if decodable(alpha, mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    hi
+}
+
+/// Iterates the DE map from q = 1 until a fixed point; returns the expected
+/// fraction of source symbols the peeling decoder recovers (1 − q*) when the
+/// overhead is `eta`. Above the threshold this converges to 1.
+pub fn recovered_fraction(alpha: f64, eta: f64) -> f64 {
+    let mut q = 1.0f64;
+    for _ in 0..10_000 {
+        let next = de_map(alpha, eta, q.max(1e-15));
+        if (next - q).abs() < 1e-12 {
+            q = next;
+            break;
+        }
+        q = next;
+        if q < 1e-12 {
+            return 1.0;
+        }
+    }
+    1.0 - q
+}
+
+/// Produces the DE prediction of Fig. 6: recovered fraction as a function of
+/// the normalized number of received coded symbols η over `points` samples
+/// of `[eta_min, eta_max]`.
+pub fn recovery_trajectory(alpha: f64, eta_min: f64, eta_max: f64, points: usize) -> Vec<(f64, f64)> {
+    assert!(points >= 2 && eta_max > eta_min && eta_min > 0.0);
+    (0..points)
+        .map(|i| {
+            let eta = eta_min + (eta_max - eta_min) * i as f64 / (points - 1) as f64;
+            (eta, recovered_fraction(alpha, eta))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_for_half_is_one_point_three_five() {
+        // Corollary 5.2.
+        let eta = threshold(0.5, 1e-3);
+        assert!((eta - 1.35).abs() < 0.02, "η*(0.5) = {eta}");
+    }
+
+    #[test]
+    fn optimal_alpha_beats_half_slightly() {
+        // §5.1: α = 0.64 gives ≈ 1.31, about 3% better than α = 0.5.
+        let best = threshold(0.64, 1e-3);
+        let half = threshold(0.5, 1e-3);
+        assert!((best - 1.31).abs() < 0.03, "η*(0.64) = {best}");
+        assert!(best < half);
+    }
+
+    #[test]
+    fn threshold_is_u_shaped_in_alpha() {
+        // Fig. 4 (DE curve): the overhead has a minimum near α ≈ 0.64 and
+        // rises towards both very dense (small α) and very sparse (α → 1)
+        // mappings.
+        let small = threshold(0.2, 1e-3);
+        let best = threshold(0.64, 1e-3);
+        let large = threshold(0.95, 1e-3);
+        assert!(small > best, "too-dense mappings also cost more: {small} vs {best}");
+        assert!(large > best, "too-sparse mappings cost more: {large} vs {best}");
+        assert!(large < 3.0, "η*(0.95) = {large} should still be finite");
+    }
+
+    #[test]
+    fn de_map_is_monotone_in_eta() {
+        for q in [0.1, 0.5, 1.0] {
+            assert!(de_map(0.5, 1.2, q) > de_map(0.5, 1.6, q));
+        }
+    }
+
+    #[test]
+    fn recovered_fraction_transitions_around_threshold() {
+        let below = recovered_fraction(0.5, 1.0);
+        let above = recovered_fraction(0.5, 1.45);
+        assert!(below < 0.9, "below threshold the decoder stalls: {below}");
+        assert!(above > 0.999, "above threshold recovery is complete: {above}");
+    }
+
+    #[test]
+    fn trajectory_is_monotone_and_saturates() {
+        let traj = recovery_trajectory(0.5, 0.2, 1.6, 30);
+        assert_eq!(traj.len(), 30);
+        for w in traj.windows(2) {
+            assert!(w[1].1 >= w[0].1 - 1e-9, "recovery must not decrease with more symbols");
+        }
+        assert!(traj.last().unwrap().1 > 0.999);
+        assert!(traj.first().unwrap().1 < 0.8);
+    }
+}

@@ -1,0 +1,115 @@
+//! The exponential integral Ei(x) for negative arguments.
+//!
+//! Theorem 5.1 characterizes the decodability threshold through
+//! `exp((1/α)·Ei(−q/(αη))) < q`, so the density-evolution solver needs Ei on
+//! the negative real axis. We compute it through E₁ (Ei(−y) = −E₁(y) for
+//! y > 0) using the classic series for small arguments and a continued
+//! fraction (modified Lentz) for large ones.
+
+/// Euler–Mascheroni constant.
+pub const EULER_GAMMA: f64 = 0.577_215_664_901_532_9;
+
+/// Exponential integral E₁(y) for y > 0.
+pub fn e1(y: f64) -> f64 {
+    assert!(y > 0.0, "E1 is only evaluated for positive arguments");
+    if y <= 1.0 {
+        // Power series: E1(y) = −γ − ln y + Σ_{k≥1} (−1)^{k+1} y^k / (k·k!).
+        let mut sum = 0.0f64;
+        let mut term = 1.0f64; // y^k / k!
+        for k in 1..=60 {
+            term *= y / k as f64;
+            let contribution = term / k as f64;
+            if k % 2 == 1 {
+                sum += contribution;
+            } else {
+                sum -= contribution;
+            }
+            if contribution.abs() < 1e-18 {
+                break;
+            }
+        }
+        -EULER_GAMMA - y.ln() + sum
+    } else {
+        // Continued fraction: E1(y) = e^{−y} · 1/(y+1− 1/(y+3− 4/(y+5− …))).
+        // Evaluated with the modified Lentz algorithm.
+        let tiny = 1e-300;
+        let mut b = y + 1.0;
+        let mut c = 1.0 / tiny;
+        let mut d = 1.0 / b;
+        let mut h = d;
+        for i in 1..200 {
+            let a = -(i as f64) * (i as f64);
+            b += 2.0;
+            d = 1.0 / (a * d + b);
+            c = b + a / c;
+            let delta = c * d;
+            h *= delta;
+            if (delta - 1.0).abs() < 1e-15 {
+                break;
+            }
+        }
+        (-y).exp() * h
+    }
+}
+
+/// Exponential integral Ei(x) for x < 0.
+pub fn ei_negative(x: f64) -> f64 {
+    assert!(x < 0.0, "this routine evaluates Ei on the negative axis only");
+    -e1(-x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference values of E₁ (Abramowitz & Stegun, Table 5.1).
+    #[test]
+    fn e1_matches_reference_values() {
+        let cases = [
+            (0.1f64, 1.8229239585),
+            (0.2, 1.2226505441),
+            (0.5, 0.5597735948),
+            (1.0, 0.2193839344),
+            (2.0, 0.0489005107),
+            (5.0, 0.0011482955),
+            (10.0, 4.15696893e-6),
+        ];
+        for (y, expected) in cases {
+            let got = e1(y);
+            assert!(
+                (got - expected).abs() < 1e-8 * (1.0 + expected.abs()) + 1e-12,
+                "E1({y}) = {got}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn e1_is_continuous_at_the_series_cutoff() {
+        let below = e1(0.999_999);
+        let above = e1(1.000_001);
+        assert!((below - above).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ei_negative_is_negative_and_monotone() {
+        let a = ei_negative(-0.5);
+        let b = ei_negative(-1.0);
+        let c = ei_negative(-2.0);
+        assert!(a < 0.0 && b < 0.0 && c < 0.0);
+        // |Ei(−x)| shrinks as x grows.
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn ei_matches_e1_identity() {
+        for y in [0.3, 1.5, 4.0] {
+            assert!((ei_negative(-y) + e1(y)).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive arguments")]
+    fn e1_rejects_non_positive() {
+        let _ = e1(0.0);
+    }
+}

@@ -1,0 +1,227 @@
+//! Monte Carlo simulation of Rateless IBLT decoding (paper §5.1, §7.1).
+//!
+//! The analytic threshold of Theorem 5.1 holds asymptotically; the paper's
+//! Figs. 4–6 and 15 measure the finite-d behaviour by simulation: encode a
+//! random set of `d` symbols, feed coded symbols to the peeling decoder one
+//! at a time, and record how many were needed. This module provides those
+//! simulations (multi-threaded across trials) for the regular and irregular
+//! variants and the decode-progress trace of Fig. 6.
+
+use riblt::{Decoder, Encoder, FixedBytes, IrregularClasses, IrregularDecoder, IrregularEncoder};
+use riblt_hash::{splitmix64, SplitMix64};
+
+use crate::stats::Summary;
+
+/// Symbol type used by the simulations (8-byte items; the overhead in coded
+/// symbols per difference is independent of the item length).
+pub type SimSymbol = FixedBytes<8>;
+
+/// Generates `d` distinct pseudorandom symbols for one trial.
+pub fn random_set(d: u64, seed: u64) -> Vec<SimSymbol> {
+    let mut gen = SplitMix64::new(splitmix64(seed) | 1);
+    let mut out = Vec::with_capacity(d as usize);
+    let mut seen = std::collections::HashSet::with_capacity(d as usize);
+    while out.len() < d as usize {
+        let v = gen.next_u64();
+        if seen.insert(v) {
+            out.push(SimSymbol::from_u64(v));
+        }
+    }
+    out
+}
+
+/// Number of coded symbols a fresh decoder needs to recover a random set of
+/// `d` symbols, using mapping parameter `alpha`.
+pub fn symbols_to_decode(d: u64, alpha: f64, seed: u64) -> u64 {
+    let set = random_set(d, seed);
+    let key = riblt::SipKey::default();
+    let mut enc = Encoder::<SimSymbol>::with_key_and_alpha(key, alpha);
+    for s in &set {
+        enc.add_symbol(*s).expect("fresh encoder");
+    }
+    let mut dec = Decoder::<SimSymbol>::with_key_and_alpha(key, alpha);
+    let mut used = 0u64;
+    while !dec.is_decoded() {
+        dec.add_coded_symbol(enc.produce_next_coded_symbol());
+        used += 1;
+        assert!(
+            used < 100 * d.max(8),
+            "decoder failed to converge for d = {d}, alpha = {alpha}"
+        );
+    }
+    used
+}
+
+/// Same as [`symbols_to_decode`] for the Irregular Rateless IBLT of §8.
+pub fn symbols_to_decode_irregular(d: u64, classes: &IrregularClasses, seed: u64) -> u64 {
+    let set = random_set(d, seed);
+    let key = riblt::SipKey::default();
+    let mut enc = IrregularEncoder::<SimSymbol>::with_classes(classes.clone(), key);
+    for s in &set {
+        enc.add_symbol(*s).expect("fresh encoder");
+    }
+    let mut dec = IrregularDecoder::<SimSymbol>::with_classes(classes.clone(), key);
+    let mut used = 0u64;
+    while !dec.is_decoded() {
+        dec.add_coded_symbol(enc.produce_next_coded_symbol());
+        used += 1;
+        assert!(
+            used < 100 * d.max(8),
+            "irregular decoder failed to converge for d = {d}"
+        );
+    }
+    used
+}
+
+/// Runs `trials` independent trials on separate threads and summarizes the
+/// communication overhead (coded symbols used ÷ d).
+pub fn overhead_summary(d: u64, alpha: f64, trials: usize, base_seed: u64) -> Summary {
+    let samples = run_parallel(trials, |t| {
+        symbols_to_decode(d, alpha, base_seed ^ (t as u64 + 1)) as f64 / d as f64
+    });
+    Summary::of(&samples)
+}
+
+/// Overhead summary for the irregular variant.
+pub fn irregular_overhead_summary(
+    d: u64,
+    classes: &IrregularClasses,
+    trials: usize,
+    base_seed: u64,
+) -> Summary {
+    let samples = run_parallel(trials, |t| {
+        symbols_to_decode_irregular(d, classes, base_seed ^ (t as u64 + 1)) as f64 / d as f64
+    });
+    Summary::of(&samples)
+}
+
+/// Fraction of source symbols recovered after receiving `m = 1..max_symbols`
+/// coded symbols, averaged over `trials` runs of a `d`-symbol set. Returns
+/// rows `(m as a fraction of d, mean recovered fraction)` — the simulation
+/// side of Fig. 6.
+pub fn decode_progress(d: u64, max_overhead: f64, trials: usize, base_seed: u64) -> Vec<(f64, f64)> {
+    let max_symbols = (max_overhead * d as f64).ceil() as usize;
+    let per_trial: Vec<Vec<f64>> = run_parallel(trials, |t| {
+        let set = random_set(d, base_seed ^ (t as u64 + 0x1000));
+        let mut enc = Encoder::<SimSymbol>::new();
+        for s in &set {
+            enc.add_symbol(*s).expect("fresh encoder");
+        }
+        let mut dec = Decoder::<SimSymbol>::new();
+        let mut fractions = Vec::with_capacity(max_symbols);
+        for _ in 0..max_symbols {
+            dec.add_coded_symbol(enc.produce_next_coded_symbol());
+            fractions.push(dec.recovered_count() as f64 / d as f64);
+        }
+        fractions
+    });
+    (0..max_symbols)
+        .map(|m| {
+            let mean =
+                per_trial.iter().map(|f| f[m]).sum::<f64>() / per_trial.len() as f64;
+            ((m + 1) as f64 / d as f64, mean)
+        })
+        .collect()
+}
+
+/// Runs `trials` closures across the machine's cores and collects results in
+/// trial order.
+fn run_parallel<T, F>(trials: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    assert!(trials > 0);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(trials);
+    let mut results: Vec<Option<T>> = (0..trials).map(|_| None).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results_mutex = std::sync::Mutex::new(&mut results);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let t = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if t >= trials {
+                    break;
+                }
+                let value = f(t);
+                let mut guard = results_mutex.lock().unwrap();
+                guard[t] = Some(value);
+            });
+        }
+    });
+    results.into_iter().map(|r| r.expect("worker finished")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_sets_are_distinct_and_deterministic() {
+        let a = random_set(100, 1);
+        let b = random_set(100, 1);
+        let c = random_set(100, 2);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let unique: std::collections::HashSet<_> = a.iter().collect();
+        assert_eq!(unique.len(), 100);
+    }
+
+    #[test]
+    fn overhead_near_paper_values_for_moderate_d() {
+        // Fig. 5: the mean overhead at d = 1024 is ≈ 1.35–1.40.
+        let summary = overhead_summary(1024, 0.5, 8, 42);
+        assert!(
+            summary.mean > 1.2 && summary.mean < 1.6,
+            "mean overhead {} outside plausible range",
+            summary.mean
+        );
+    }
+
+    #[test]
+    fn overhead_is_higher_for_tiny_differences() {
+        // Fig. 5: the overhead peaks (≈1.7) around d ≈ 4 and is well above
+        // the asymptotic 1.35 for very small d.
+        let small = overhead_summary(4, 0.5, 64, 7);
+        let large = overhead_summary(2048, 0.5, 4, 7);
+        assert!(small.mean > large.mean, "small-d overhead should exceed large-d");
+        assert!(small.mean > 1.3);
+    }
+
+    #[test]
+    fn irregular_beats_regular_at_large_d() {
+        // Fig. 15: the irregular construction converges to ≈1.10 vs 1.35.
+        let classes = IrregularClasses::paper_optimal();
+        let regular = overhead_summary(4096, 0.5, 4, 11);
+        let irregular = irregular_overhead_summary(4096, &classes, 4, 11);
+        assert!(
+            irregular.mean < regular.mean,
+            "irregular {} should beat regular {}",
+            irregular.mean,
+            regular.mean
+        );
+    }
+
+    #[test]
+    fn decode_progress_ends_fully_recovered() {
+        let rows = decode_progress(500, 2.0, 4, 3);
+        assert_eq!(rows.len(), 1000);
+        let last = rows.last().unwrap();
+        assert!(last.1 > 0.999, "after 2d symbols everything should be recovered");
+        // Early on, little is recovered.
+        assert!(rows[(0.5 * 500.0) as usize].1 < 0.5);
+        // Monotone in expectation (allow small sampling noise).
+        for w in rows.windows(2) {
+            assert!(w[1].1 >= w[0].1 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn parallel_runner_preserves_order() {
+        let out = run_parallel(17, |i| i * 3);
+        assert_eq!(out, (0..17).map(|i| i * 3).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,99 @@
+//! Small statistics helpers shared by the simulation harnesses.
+
+/// Summary statistics of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (n − 1 in the denominator; 0 for n ≤ 1).
+    pub std_dev: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Number of observations.
+    pub count: usize,
+}
+
+impl Summary {
+    /// Computes summary statistics of `values` (empty input yields zeros).
+    pub fn of(values: &[f64]) -> Summary {
+        if values.is_empty() {
+            return Summary {
+                mean: 0.0,
+                std_dev: 0.0,
+                min: 0.0,
+                max: 0.0,
+                count: 0,
+            };
+        }
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = if values.len() > 1 {
+            values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1.0)
+        } else {
+            0.0
+        };
+        Summary {
+            mean,
+            std_dev: var.sqrt(),
+            min: values.iter().copied().fold(f64::INFINITY, f64::min),
+            max: values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            count: values.len(),
+        }
+    }
+}
+
+/// Evenly log-spaced integers between `lo` and `hi` inclusive (deduplicated,
+/// ascending) — the x-axes of most of the paper's sweeps.
+pub fn log_spaced(lo: u64, hi: u64, points: usize) -> Vec<u64> {
+    assert!(lo >= 1 && hi >= lo && points >= 2);
+    let (llo, lhi) = ((lo as f64).ln(), (hi as f64).ln());
+    let mut out: Vec<u64> = (0..points)
+        .map(|i| {
+            let t = i as f64 / (points - 1) as f64;
+            (llo + t * (lhi - llo)).exp().round() as u64
+        })
+        .collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_simple_sample() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.std_dev - 1.2909944487).abs() < 1e-9);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.count, 4);
+    }
+
+    #[test]
+    fn summary_of_empty_and_singleton() {
+        assert_eq!(Summary::of(&[]).count, 0);
+        let one = Summary::of(&[7.0]);
+        assert_eq!(one.mean, 7.0);
+        assert_eq!(one.std_dev, 0.0);
+    }
+
+    #[test]
+    fn log_spaced_endpoints_and_monotonicity() {
+        let xs = log_spaced(1, 1_000_000, 13);
+        assert_eq!(*xs.first().unwrap(), 1);
+        assert_eq!(*xs.last().unwrap(), 1_000_000);
+        assert!(xs.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn log_spaced_handles_narrow_ranges() {
+        let xs = log_spaced(5, 8, 10);
+        assert!(xs.len() <= 4);
+        assert!(xs.contains(&5) && xs.contains(&8));
+    }
+}

@@ -1,0 +1,50 @@
+//! Criterion micro-benchmarks of the baseline schemes, giving the
+//! computation-cost side of the comparisons in §7.2 at a glance.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iblt::Iblt;
+use pinsketch::PinSketch;
+use riblt_bench::{items32, items8};
+
+fn pinsketch_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pinsketch_encode");
+    group.sample_size(10);
+    let items = items8(10_000, 0xb5);
+    for &d in &[16usize, 64, 256] {
+        group.bench_with_input(BenchmarkId::new("capacity", d), &d, |b, &d| {
+            b.iter(|| PinSketch::from_set(d, items.iter().map(|i| i.to_u64())).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn pinsketch_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pinsketch_decode");
+    group.sample_size(10);
+    for &d in &[16usize, 64, 256] {
+        let items = items8(d as u64, 0xb6 ^ d as u64);
+        let sketch = PinSketch::from_set(d, items.iter().map(|i| i.to_u64())).unwrap();
+        group.bench_with_input(BenchmarkId::new("d", d), &sketch, |b, sketch| {
+            b.iter(|| sketch.decode().unwrap().len());
+        });
+    }
+    group.finish();
+}
+
+fn regular_iblt_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("regular_iblt");
+    group.sample_size(10);
+    let d = 200u64;
+    let items = items32(d, 0xb7);
+    let cells = 400;
+    group.bench_function("build_and_decode_d200", |b| {
+        b.iter(|| {
+            let table = Iblt::from_set(cells, 4, items.iter());
+            table.decode().is_complete()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, pinsketch_encode, pinsketch_decode, regular_iblt_roundtrip);
+criterion_main!(benches);

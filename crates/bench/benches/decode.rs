@@ -1,0 +1,70 @@
+//! Criterion micro-benchmarks of Rateless IBLT decoding (paper §7.2, Fig. 9).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use riblt::{Decoder, Encoder};
+use riblt_bench::{items8, Item8};
+
+fn decode_by_difference_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decode_differences");
+    group.sample_size(10);
+    for &d in &[100u64, 1_000, 10_000] {
+        let items = items8(d, 0xdec ^ d);
+        let mut enc = Encoder::<Item8>::new();
+        for item in &items {
+            enc.add_symbol(*item).unwrap();
+        }
+        let coded = enc.produce_coded_symbols((2 * d) as usize + 8);
+        group.throughput(Throughput::Elements(d));
+        group.bench_with_input(BenchmarkId::new("d", d), &coded, |b, coded| {
+            b.iter(|| {
+                let mut dec = Decoder::<Item8>::new();
+                for cs in coded {
+                    dec.add_coded_symbol(cs.clone());
+                    if dec.is_decoded() {
+                        break;
+                    }
+                }
+                assert!(dec.is_decoded());
+                dec.recovered_count()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn decode_with_large_local_set(c: &mut Criterion) {
+    // The decoder also lazily expands its own set's coded symbols; measure
+    // the end-to-end receiver cost with a non-trivial local set.
+    let mut group = c.benchmark_group("decode_with_local_set");
+    group.sample_size(10);
+    let n = 20_000u64;
+    let d = 500u64;
+    let universe = items8(n + d, 0xd1d1u64);
+    let alice: Vec<Item8> = universe[..n as usize].to_vec();
+    let bob: Vec<Item8> = universe[d as usize..].to_vec();
+    let mut enc = Encoder::<Item8>::new();
+    for item in &alice {
+        enc.add_symbol(*item).unwrap();
+    }
+    let coded = enc.produce_coded_symbols((3 * d) as usize);
+    group.bench_function("n20k_d1000", |b| {
+        b.iter(|| {
+            let mut dec = Decoder::<Item8>::new();
+            for item in &bob {
+                dec.add_symbol(*item).unwrap();
+            }
+            for cs in &coded {
+                dec.add_coded_symbol(cs.clone());
+                if dec.is_decoded() {
+                    break;
+                }
+            }
+            assert!(dec.is_decoded());
+            dec.recovered_count()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, decode_by_difference_size, decode_with_large_local_set);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion micro-benchmarks of the fixed-size sketch and the
+//! incrementally maintained cache (the §7.3 "11 ms to update 50 million
+//! coded symbols" style of operation, at laptop scale).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use riblt::{Sketch, SketchCache};
+use riblt_bench::{items8, Item8};
+
+fn sketch_build_and_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sketch");
+    group.sample_size(10);
+    let d = 1_000u64;
+    let items = items8(d, 0x5e7);
+    let m = (1.6 * d as f64) as usize;
+    group.throughput(Throughput::Elements(d));
+    group.bench_function("build_m1600_d1000", |b| {
+        b.iter(|| Sketch::from_set(m, items.iter()));
+    });
+    let sketch = Sketch::from_set(m, items.iter());
+    group.bench_function("decode_m1600_d1000", |b| {
+        b.iter(|| sketch.decode().unwrap().len());
+    });
+    group.finish();
+}
+
+fn cache_updates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sketch_cache_update");
+    for &m in &[10_000usize, 100_000] {
+        let mut cache = SketchCache::<Item8>::new();
+        for item in items8(10_000, 0xca) {
+            cache.add_symbol(item);
+        }
+        cache.ensure_len(m);
+        let updates = items8(1_000, 0xcb);
+        group.throughput(Throughput::Elements(updates.len() as u64));
+        group.bench_with_input(BenchmarkId::new("prefix_len", m), &m, |b, _| {
+            let mut i = 0u64;
+            b.iter(|| {
+                // Alternate adds and removes so the cached set stays bounded.
+                let item = updates[(i % updates.len() as u64) as usize];
+                if i % 2 == 0 {
+                    cache.add_symbol(item);
+                } else {
+                    cache.remove_symbol(item);
+                }
+                i += 1;
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, sketch_build_and_decode, cache_updates);
+criterion_main!(benches);

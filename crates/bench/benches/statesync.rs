@@ -1,0 +1,33 @@
+//! Criterion benchmarks of the end-to-end state-synchronization drivers at
+//! small scale (the figure-scale runs live in the fig12–fig14 binaries).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use statesync::{sync_with_heal, sync_with_riblt, Chain, ChainConfig, HealSyncConfig, RibltSyncConfig};
+
+fn sync_small_ledger(c: &mut Criterion) {
+    let mut group = c.benchmark_group("statesync_small");
+    group.sample_size(10);
+    let chain = Chain::generate(ChainConfig::test_scale(), 20);
+    let latest = chain.snapshot_at(20);
+    let stale = chain.snapshot_at(10);
+    group.bench_function("riblt_sync", |b| {
+        b.iter(|| sync_with_riblt(&latest, &stale, RibltSyncConfig::default()).1.total_bytes());
+    });
+    group.bench_function("heal_sync", |b| {
+        b.iter(|| sync_with_heal(&latest, &stale, HealSyncConfig::default()).1.total_bytes());
+    });
+    group.finish();
+}
+
+fn trie_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merkle_trie_build");
+    group.sample_size(10);
+    let ledger = statesync::Ledger::genesis(10_000);
+    group.bench_function("10k_accounts", |b| {
+        b.iter(|| ledger.to_trie().root());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, sync_small_ledger, trie_construction);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Figure 4: communication overhead η* as a function of the mapping
+//! parameter α — density-evolution prediction vs Monte Carlo simulation at
+//! several finite difference sizes.
+//!
+//! Output columns: `alpha, de_threshold, then one column of mean simulated
+//! overhead per difference size`.
+
+use analysis::{overhead_summary, threshold};
+use riblt_bench::{csv_header, RunScale};
+
+fn main() {
+    let scale = RunScale::from_args();
+    let alphas: Vec<f64> = (1..=19).map(|i| i as f64 * 0.05).collect();
+    let diff_sizes: Vec<u64> = scale.pick(vec![100, 1_000, 10_000], vec![100, 1_000, 10_000, 100_000, 1_000_000]);
+    let trials = scale.pick(10, 100);
+
+    eprintln!(
+        "# Fig. 4 reproduction: {} trials per point, difference sizes {:?} ({:?} mode)",
+        trials, diff_sizes, scale
+    );
+    let mut columns = vec!["alpha".to_string(), "de_threshold".to_string()];
+    columns.extend(diff_sizes.iter().map(|d| format!("sim_overhead_d{d}")));
+    csv_header(&columns.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+
+    for &alpha in &alphas {
+        let de = threshold(alpha, 1e-3);
+        let mut row = vec![format!("{alpha:.2}"), format!("{de:.4}")];
+        for &d in &diff_sizes {
+            let summary = overhead_summary(d, alpha, trials, 0xf1604 ^ d);
+            row.push(format!("{:.4}", summary.mean));
+        }
+        println!("{}", row.join(","));
+    }
+}

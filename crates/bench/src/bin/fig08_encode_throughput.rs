@@ -1,0 +1,68 @@
+//! Figure 8: encoding throughput (differences reconciled per second of
+//! encoder time) and encoding time, for Rateless IBLT and PinSketch, at set
+//! sizes N = 10^4 and (full mode) 10^6.
+//!
+//! Output columns: `set_size, d, riblt_encode_s, riblt_throughput,
+//! pinsketch_encode_s, pinsketch_throughput`.
+
+use pinsketch::PinSketch;
+use riblt::Encoder;
+use riblt_bench::{csv_header, items8, timed, Item8, RunScale};
+
+fn main() {
+    let scale = RunScale::from_args();
+    let set_sizes: Vec<u64> = scale.pick(vec![10_000], vec![10_000, 1_000_000]);
+    let diffs: Vec<u64> = scale.pick(
+        vec![1, 10, 100, 1_000],
+        vec![1, 10, 100, 1_000, 10_000, 100_000],
+    );
+    // PinSketch encoding is O(N·d); cap where it stops being tractable.
+    let pinsketch_max_d = scale.pick(1_000u64, 10_000u64);
+    eprintln!("# Fig. 8 reproduction ({:?} mode)", scale);
+    csv_header(&[
+        "set_size",
+        "d",
+        "riblt_encode_s",
+        "riblt_throughput_per_s",
+        "pinsketch_encode_s",
+        "pinsketch_throughput_per_s",
+    ]);
+
+    for &n in &set_sizes {
+        let items = items8(n, 0xf8);
+        for &d in &diffs {
+            if d > n {
+                continue;
+            }
+            // Rateless IBLT: load the set and produce the ≈1.4·d coded
+            // symbols a peer would need.
+            let symbols_needed = ((1.4 * d as f64).ceil() as usize).max(1);
+            let (_, riblt_s) = timed(|| {
+                let mut enc = Encoder::<Item8>::new();
+                for item in &items {
+                    enc.add_symbol(*item).unwrap();
+                }
+                enc.produce_coded_symbols(symbols_needed)
+            });
+
+            // PinSketch: compute d syndromes over the whole set.
+            let (ps_s, ps_tp) = if d <= pinsketch_max_d {
+                let (_, s) = timed(|| {
+                    PinSketch::from_set(d as usize, items.iter().map(|i| i.to_u64())).unwrap()
+                });
+                (format!("{s:.6}"), format!("{:.1}", d as f64 / s))
+            } else {
+                ("skipped".to_string(), "skipped".to_string())
+            };
+
+            riblt_bench::csv_row!(
+                n,
+                d,
+                format!("{riblt_s:.6}"),
+                format!("{:.1}", d as f64 / riblt_s),
+                ps_s,
+                ps_tp
+            );
+        }
+    }
+}

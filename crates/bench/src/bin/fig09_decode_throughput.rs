@@ -1,0 +1,69 @@
+//! Figure 9: decoding throughput (differences recovered per second) and
+//! decoding time for Rateless IBLT and PinSketch. Decoding cost depends only
+//! on the difference size, not on the set size.
+//!
+//! Output columns: `d, riblt_decode_s, riblt_throughput, pinsketch_decode_s,
+//! pinsketch_throughput`.
+
+use pinsketch::PinSketch;
+use riblt::{Decoder, Encoder};
+use riblt_bench::{csv_header, items8, timed, Item8, RunScale};
+
+fn main() {
+    let scale = RunScale::from_args();
+    let diffs: Vec<u64> = scale.pick(
+        vec![1, 10, 100, 1_000, 10_000, 100_000],
+        vec![1, 10, 100, 1_000, 10_000, 100_000],
+    );
+    // PinSketch decoding is O(d^2) field operations with our portable
+    // GF(2^64); cap it where a single point would take minutes.
+    let pinsketch_max_d = scale.pick(256u64, 2_048u64);
+    eprintln!("# Fig. 9 reproduction ({:?} mode)", scale);
+    csv_header(&[
+        "d",
+        "riblt_decode_s",
+        "riblt_throughput_per_s",
+        "pinsketch_decode_s",
+        "pinsketch_throughput_per_s",
+    ]);
+
+    for &d in &diffs {
+        let items = items8(d, 0xf9 ^ d);
+        // Pre-produce the coded symbols (encoder cost is charged in Fig. 8).
+        let mut enc = Encoder::<Item8>::new();
+        for item in &items {
+            enc.add_symbol(*item).unwrap();
+        }
+        let coded = enc.produce_coded_symbols((2.0 * d as f64).ceil() as usize + 4);
+        let (decoded, riblt_s) = timed(|| {
+            let mut dec = Decoder::<Item8>::new();
+            let mut used = 0;
+            for cs in &coded {
+                dec.add_coded_symbol(cs.clone());
+                used += 1;
+                if dec.is_decoded() {
+                    break;
+                }
+            }
+            (dec.recovered_count(), used)
+        });
+        assert_eq!(decoded.0, d as usize, "riblt decode failed for d = {d}");
+
+        let (ps_s, ps_tp) = if d <= pinsketch_max_d {
+            let sketch = PinSketch::from_set(d as usize, items.iter().map(|i| i.to_u64())).unwrap();
+            let (out, s) = timed(|| sketch.decode().expect("pinsketch decode"));
+            assert_eq!(out.len(), d as usize);
+            (format!("{s:.6}"), format!("{:.1}", d as f64 / s))
+        } else {
+            ("skipped".to_string(), "skipped".to_string())
+        };
+
+        riblt_bench::csv_row!(
+            d,
+            format!("{riblt_s:.6}"),
+            format!("{:.1}", d as f64 / riblt_s),
+            ps_s,
+            ps_tp
+        );
+    }
+}

@@ -1,0 +1,30 @@
+//! Figure 10: Rateless IBLT encoding time for 1,000 differences as the set
+//! size N varies — encoding cost grows linearly with N.
+//!
+//! Output columns: `set_size, encode_s`.
+
+use riblt::Encoder;
+use riblt_bench::{csv_header, items8, timed, Item8, RunScale};
+
+fn main() {
+    let scale = RunScale::from_args();
+    let d = 1_000u64;
+    let sizes: Vec<u64> = scale.pick(
+        vec![1_000, 10_000, 100_000, 1_000_000],
+        vec![1_000, 10_000, 100_000, 1_000_000, 10_000_000],
+    );
+    eprintln!("# Fig. 10 reproduction ({:?} mode), d = {d}", scale);
+    csv_header(&["set_size", "encode_s"]);
+    for &n in &sizes {
+        let items = items8(n, 0xf10);
+        let symbols_needed = (1.4 * d as f64).ceil() as usize;
+        let (_, secs) = timed(|| {
+            let mut enc = Encoder::<Item8>::new();
+            for item in &items {
+                enc.add_symbol(*item).unwrap();
+            }
+            enc.produce_coded_symbols(symbols_needed)
+        });
+        riblt_bench::csv_row!(n, format!("{secs:.6}"));
+    }
+}

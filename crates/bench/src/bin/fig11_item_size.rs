@@ -1,0 +1,50 @@
+//! Figure 11: slowdown of encoding as the item size grows from 8 bytes to
+//! 32 KB (d = 1,000). Initially sublinear (fixed per-symbol costs amortize),
+//! then linear once XOR dominates — at which point the *data rate* in MB/s
+//! is constant.
+//!
+//! Output columns: `item_bytes, encode_s, slowdown_vs_8B, data_rate_MBps`.
+
+use riblt::{Encoder, VecSymbol};
+use riblt_bench::{csv_header, timed, RunScale};
+use riblt_hash::SplitMix64;
+
+fn main() {
+    let scale = RunScale::from_args();
+    let d = 1_000u64;
+    let n = scale.pick(10_000u64, 10_000u64);
+    let sizes: Vec<usize> = scale.pick(
+        vec![8, 32, 128, 512, 2_048, 8_192, 32_768],
+        vec![8, 32, 128, 512, 2_048, 8_192, 32_768],
+    );
+    eprintln!("# Fig. 11 reproduction ({:?} mode), d = {d}, N = {n}", scale);
+    csv_header(&["item_bytes", "encode_s", "slowdown_vs_8B", "data_rate_MBps"]);
+
+    let mut base = None;
+    for &len in &sizes {
+        let mut gen = SplitMix64::new(0xf11 ^ len as u64);
+        let items: Vec<VecSymbol> = (0..n)
+            .map(|_| {
+                let mut bytes = vec![0u8; len];
+                gen.fill_bytes(&mut bytes);
+                VecSymbol::new(bytes)
+            })
+            .collect();
+        let symbols_needed = (1.4 * d as f64).ceil() as usize;
+        let (_, secs) = timed(|| {
+            let mut enc = Encoder::<VecSymbol>::new();
+            for item in items {
+                enc.add_symbol(item).unwrap();
+            }
+            enc.produce_coded_symbols(symbols_needed)
+        });
+        let base_secs = *base.get_or_insert(secs);
+        let rate = n as f64 * len as f64 / secs / 1e6;
+        riblt_bench::csv_row!(
+            len,
+            format!("{secs:.6}"),
+            format!("{:.2}", secs / base_secs),
+            format!("{rate:.1}")
+        );
+    }
+}

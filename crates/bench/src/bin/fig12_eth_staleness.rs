@@ -1,0 +1,61 @@
+//! Figure 12: completion time and data transmitted when synchronizing
+//! ledger state of varying staleness over a 50 ms / 20 Mbps link —
+//! Rateless IBLT vs Merkle-trie state heal.
+//!
+//! Output columns: `staleness_blocks, staleness_minutes, diff_items,
+//! riblt_time_s, riblt_MB, heal_time_s, heal_MB, time_ratio, bytes_ratio`.
+
+use riblt_bench::{csv_header, RunScale};
+use statesync::{sync_with_heal, sync_with_riblt, Chain, ChainConfig, HealSyncConfig, RibltSyncConfig};
+
+fn main() {
+    let scale = RunScale::from_args();
+    let config = match scale {
+        RunScale::Quick => ChainConfig {
+            genesis_accounts: 50_000,
+            ..ChainConfig::laptop_scale()
+        },
+        RunScale::Full => ChainConfig::laptop_scale(),
+    };
+    let staleness_blocks: Vec<usize> = scale.pick(
+        vec![1, 5, 25, 50, 100, 200],
+        vec![1, 5, 10, 25, 50, 100, 200, 400, 800, 1_600, 3_000],
+    );
+    let max_blocks = *staleness_blocks.iter().max().unwrap();
+    eprintln!(
+        "# Fig. 12 reproduction ({:?} mode): {} genesis accounts, {} blocks of history",
+        scale, config.genesis_accounts, max_blocks
+    );
+    let chain = Chain::generate(config, max_blocks);
+    let latest = chain.snapshot_at(max_blocks);
+
+    csv_header(&[
+        "staleness_blocks",
+        "staleness_minutes",
+        "diff_items",
+        "riblt_time_s",
+        "riblt_MB",
+        "heal_time_s",
+        "heal_MB",
+        "time_ratio_heal_over_riblt",
+        "bytes_ratio_heal_over_riblt",
+    ]);
+
+    for &blocks in &staleness_blocks {
+        let stale = chain.snapshot_at(max_blocks - blocks);
+        let diff = latest.item_difference(&stale);
+        let (_, riblt) = sync_with_riblt(&latest, &stale, RibltSyncConfig::default());
+        let (_, heal) = sync_with_heal(&latest, &stale, HealSyncConfig::default());
+        riblt_bench::csv_row!(
+            blocks,
+            format!("{:.1}", blocks as f64 * config.block_interval_s / 60.0),
+            diff,
+            format!("{:.2}", riblt.completion_time_s),
+            format!("{:.3}", riblt.total_megabytes()),
+            format!("{:.2}", heal.completion_time_s),
+            format!("{:.3}", heal.total_megabytes()),
+            format!("{:.2}", heal.completion_time_s / riblt.completion_time_s),
+            format!("{:.2}", heal.total_bytes() as f64 / riblt.total_bytes() as f64)
+        );
+    }
+}

@@ -1,0 +1,68 @@
+//! Figure 14: completion time vs link bandwidth for a fixed staleness.
+//! Rateless IBLT keeps getting faster with more bandwidth
+//! (throughput-bound); state heal flattens out once it becomes bound by
+//! round trips and per-node processing.
+//!
+//! Output columns: `bandwidth_mbps, riblt_time_s, heal_time_s`.
+
+use netsim::LinkConfig;
+use riblt_bench::{csv_header, RunScale};
+use statesync::{sync_with_heal, sync_with_riblt, Chain, ChainConfig, HealSyncConfig, RibltSyncConfig};
+
+fn main() {
+    let scale = RunScale::from_args();
+    let config = match scale {
+        RunScale::Quick => ChainConfig {
+            genesis_accounts: 50_000,
+            ..ChainConfig::laptop_scale()
+        },
+        RunScale::Full => ChainConfig::laptop_scale(),
+    };
+    let staleness_blocks = scale.pick(100usize, 3_000usize);
+    let bandwidths: Vec<Option<f64>> = vec![
+        Some(10.0),
+        Some(20.0),
+        Some(40.0),
+        Some(60.0),
+        Some(80.0),
+        Some(100.0),
+        None, // uncapped
+    ];
+    eprintln!(
+        "# Fig. 14 reproduction ({:?} mode): staleness = {} blocks",
+        scale, staleness_blocks
+    );
+    let chain = Chain::generate(config, staleness_blocks);
+    let latest = chain.snapshot_at(staleness_blocks);
+    let stale = chain.snapshot_at(0);
+
+    csv_header(&["bandwidth_mbps", "riblt_time_s", "heal_time_s"]);
+    for bw in bandwidths {
+        let link = match bw {
+            Some(mbps) => LinkConfig::with_mbps(mbps),
+            None => LinkConfig::unlimited(),
+        };
+        let (_, riblt) = sync_with_riblt(
+            &latest,
+            &stale,
+            RibltSyncConfig {
+                link,
+                ..Default::default()
+            },
+        );
+        let (_, heal) = sync_with_heal(
+            &latest,
+            &stale,
+            HealSyncConfig {
+                link,
+                ..Default::default()
+            },
+        );
+        let label = bw.map(|b| format!("{b:.0}")).unwrap_or_else(|| "unlimited".into());
+        riblt_bench::csv_row!(
+            label,
+            format!("{:.2}", riblt.completion_time_s),
+            format!("{:.2}", heal.completion_time_s)
+        );
+    }
+}

@@ -1,0 +1,24 @@
+//! Figure 15: communication overhead of regular vs Irregular Rateless IBLT
+//! as the difference size varies.
+//!
+//! Output columns: `d, regular_overhead, irregular_overhead`.
+
+use analysis::{irregular_overhead_summary, log_spaced, overhead_summary};
+use riblt::IrregularClasses;
+use riblt_bench::{csv_header, RunScale};
+
+fn main() {
+    let scale = RunScale::from_args();
+    let max_d = scale.pick(50_000, 1_000_000);
+    let points = scale.pick(12, 19);
+    let trials = scale.pick(10, 100);
+    let diffs = log_spaced(1, max_d, points);
+    let classes = IrregularClasses::paper_optimal();
+    eprintln!("# Fig. 15 reproduction ({:?} mode): {trials} trials per point", scale);
+    csv_header(&["d", "regular_overhead", "irregular_overhead"]);
+    for &d in &diffs {
+        let reg = overhead_summary(d, 0.5, trials, 0xf1615 ^ d);
+        let irr = irregular_overhead_summary(d, &classes, trials, 0xf1615 ^ d);
+        riblt_bench::csv_row!(d, format!("{:.4}", reg.mean), format!("{:.4}", irr.mean));
+    }
+}

@@ -1,0 +1,289 @@
+//! Regular (fixed-size) IBLT.
+//!
+//! The table is split into `k` equal partitions; each item is mapped to one
+//! uniformly random cell per partition (k distinct cells overall), the
+//! construction used by Eppstein et al. Decoding peels pure cells exactly
+//! like the rateless decoder, but the table cannot be grown after the fact —
+//! the limitation (paper §3, Figs. 3a/3b and Appendix A) that motivates the
+//! rateless design.
+
+use riblt::{HashedSymbol, SetDifference, Symbol};
+use riblt_hash::{siphash24, SipKey};
+
+use crate::cell::Cell;
+
+/// A regular IBLT with `m` cells and `k` hash functions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Iblt<S: Symbol> {
+    cells: Vec<Cell<S>>,
+    k: usize,
+    key: SipKey,
+}
+
+/// Outcome of decoding an IBLT.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DecodeOutcome<S> {
+    /// Every item was recovered.
+    Complete(SetDifference<S>),
+    /// Peeling stalled; the partial difference recovered so far is returned.
+    /// The caller must rebuild a larger table and resend it (regular IBLTs
+    /// cannot be extended incrementally).
+    Partial(SetDifference<S>),
+}
+
+impl<S> DecodeOutcome<S> {
+    /// True if decoding recovered everything.
+    pub fn is_complete(&self) -> bool {
+        matches!(self, DecodeOutcome::Complete(_))
+    }
+
+    /// The recovered difference, complete or not.
+    pub fn difference(self) -> SetDifference<S> {
+        match self {
+            DecodeOutcome::Complete(d) | DecodeOutcome::Partial(d) => d,
+        }
+    }
+}
+
+impl<S: Symbol> Iblt<S> {
+    /// Creates an empty IBLT with `m` cells and `k` hash functions.
+    ///
+    /// `m` is rounded up to a multiple of `k` so the partitions are equal.
+    pub fn new(m: usize, k: usize) -> Self {
+        Self::with_key(m, k, SipKey::default())
+    }
+
+    /// Creates an empty IBLT with a secret checksum key.
+    pub fn with_key(m: usize, k: usize, key: SipKey) -> Self {
+        assert!(k >= 1, "need at least one hash function");
+        let m = m.max(k);
+        let m = m.div_ceil(k) * k;
+        Iblt {
+            cells: vec![Cell::default(); m],
+            k,
+            key,
+        }
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True if the table has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Number of hash functions.
+    pub fn hash_count(&self) -> usize {
+        self.k
+    }
+
+    /// Read-only view of the cells.
+    pub fn cells(&self) -> &[Cell<S>] {
+        &self.cells
+    }
+
+    /// Serialized size in bytes, with the paper's accounting (8-byte
+    /// checksum and 8-byte count per cell, §7.1).
+    pub fn wire_size(&self, item_len: usize) -> usize {
+        self.cells.len() * Cell::<S>::wire_size(item_len, 8)
+    }
+
+    /// The `k` distinct cell indices for an item with hash `item_hash`.
+    fn cell_indices(&self, item_hash: u64) -> impl Iterator<Item = usize> + '_ {
+        let partition = self.cells.len() / self.k;
+        (0..self.k).map(move |j| {
+            // Derive one sub-hash per partition from the item hash; keyed
+            // per-partition so the k positions are independent.
+            let h = siphash24(
+                SipKey::new(0x1b17_5eed ^ j as u64, 0x5eed_0000 + j as u64),
+                &item_hash.to_le_bytes(),
+            );
+            j * partition + (h % partition as u64) as usize
+        })
+    }
+
+    fn apply(&mut self, item: &HashedSymbol<S>, sign: i64) {
+        let indices: Vec<usize> = self.cell_indices(item.hash).collect();
+        for idx in indices {
+            self.cells[idx].apply(item, sign);
+        }
+    }
+
+    /// Inserts an item.
+    pub fn insert(&mut self, item: &S) {
+        let hashed = HashedSymbol::new(item.clone(), self.key);
+        self.apply(&hashed, 1);
+    }
+
+    /// Deletes an item (the inverse of [`Self::insert`]).
+    pub fn delete(&mut self, item: &S) {
+        let hashed = HashedSymbol::new(item.clone(), self.key);
+        self.apply(&hashed, -1);
+    }
+
+    /// Builds the IBLT of a whole set.
+    pub fn from_set<'a>(m: usize, k: usize, items: impl IntoIterator<Item = &'a S>) -> Self
+    where
+        S: 'a,
+    {
+        let mut t = Self::new(m, k);
+        for item in items {
+            t.insert(item);
+        }
+        t
+    }
+
+    /// Cell-wise subtraction; both tables must have identical geometry and
+    /// key (panics otherwise, mirroring the protocol requirement that both
+    /// parties agree on parameters beforehand — the very requirement the
+    /// rateless scheme removes).
+    pub fn subtract(&mut self, other: &Iblt<S>) {
+        assert_eq!(self.cells.len(), other.cells.len(), "IBLT size mismatch");
+        assert_eq!(self.k, other.k, "IBLT hash-count mismatch");
+        for (a, b) in self.cells.iter_mut().zip(other.cells.iter()) {
+            a.subtract(b);
+        }
+    }
+
+    /// Returns `self ⊖ other`.
+    pub fn subtracted(&self, other: &Iblt<S>) -> Iblt<S> {
+        let mut out = self.clone();
+        out.subtract(other);
+        out
+    }
+
+    /// Peels the table.
+    pub fn decode(&self) -> DecodeOutcome<S> {
+        let mut cells = self.cells.clone();
+        let mut queue: Vec<usize> = (0..cells.len())
+            .filter(|&i| cells[i].is_pure(self.key))
+            .collect();
+        let mut diff = SetDifference::default();
+
+        while let Some(idx) = queue.pop() {
+            if !cells[idx].is_pure(self.key) {
+                continue;
+            }
+            let positive = cells[idx].count == 1;
+            let symbol = cells[idx].key_sum.clone();
+            let hash = cells[idx].hash_sum;
+            let hashed = HashedSymbol::with_hash(symbol.clone(), hash);
+            let sign = if positive { -1 } else { 1 };
+            let indices: Vec<usize> = self.cell_indices(hash).collect();
+            for i in indices {
+                cells[i].apply(&hashed, sign);
+                if cells[i].is_pure(self.key) {
+                    queue.push(i);
+                }
+            }
+            if positive {
+                diff.remote_only.push(symbol);
+            } else {
+                diff.local_only.push(symbol);
+            }
+        }
+
+        if cells.iter().all(|c| c.is_empty()) {
+            DecodeOutcome::Complete(diff)
+        } else {
+            DecodeOutcome::Partial(diff)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use riblt::FixedBytes;
+    use std::collections::BTreeSet;
+
+    type Sym = FixedBytes<8>;
+
+    fn syms(range: std::ops::Range<u64>) -> Vec<Sym> {
+        range.map(Sym::from_u64).collect()
+    }
+
+    #[test]
+    fn small_set_decodes_completely() {
+        let items = syms(0..30);
+        let t = Iblt::from_set(90, 3, items.iter());
+        let out = t.decode();
+        assert!(out.is_complete());
+        let got: BTreeSet<u64> = out.difference().remote_only.iter().map(|s| s.to_u64()).collect();
+        assert_eq!(got, (0..30).collect());
+    }
+
+    #[test]
+    fn subtraction_recovers_symmetric_difference() {
+        let alice = syms(0..1_000);
+        let bob = syms(25..1_025);
+        let m = 200;
+        let ta = Iblt::from_set(m, 3, alice.iter());
+        let tb = Iblt::from_set(m, 3, bob.iter());
+        let out = ta.subtracted(&tb).decode();
+        assert!(out.is_complete());
+        let diff = out.difference();
+        let remote: BTreeSet<u64> = diff.remote_only.iter().map(|s| s.to_u64()).collect();
+        let local: BTreeSet<u64> = diff.local_only.iter().map(|s| s.to_u64()).collect();
+        assert_eq!(remote, (0..25).collect());
+        assert_eq!(local, (1000..1025).collect());
+    }
+
+    #[test]
+    fn undersized_table_fails_to_decode() {
+        // d = 200 differences cannot fit into 60 cells: with high
+        // probability decoding is incomplete (Theorem A.1).
+        let alice = syms(0..200);
+        let t = Iblt::from_set(60, 3, alice.iter());
+        let out = t.decode();
+        assert!(!out.is_complete());
+    }
+
+    #[test]
+    fn insert_then_delete_leaves_empty_table() {
+        let mut t = Iblt::<Sym>::new(30, 3);
+        for i in 0..10u64 {
+            t.insert(&Sym::from_u64(i));
+        }
+        for i in 0..10u64 {
+            t.delete(&Sym::from_u64(i));
+        }
+        assert!(t.cells().iter().all(|c| c.is_empty()));
+    }
+
+    #[test]
+    fn geometry_is_rounded_to_multiple_of_k() {
+        let t = Iblt::<Sym>::new(10, 4);
+        assert_eq!(t.len(), 12);
+        assert_eq!(t.hash_count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn mismatched_subtract_panics() {
+        let a = Iblt::<Sym>::new(12, 3);
+        let b = Iblt::<Sym>::new(24, 3);
+        let mut a2 = a;
+        a2.subtract(&b);
+    }
+
+    #[test]
+    fn wire_size_accounting() {
+        let t = Iblt::<Sym>::new(99, 3);
+        assert_eq!(t.wire_size(32), 99 * 48);
+    }
+
+    #[test]
+    fn decoding_is_deterministic() {
+        let alice = syms(0..500);
+        let bob = syms(10..510);
+        let ta = Iblt::from_set(64, 4, alice.iter());
+        let tb = Iblt::from_set(64, 4, bob.iter());
+        let d1 = ta.subtracted(&tb).decode();
+        let d2 = ta.subtracted(&tb).decode();
+        assert_eq!(d1.is_complete(), d2.is_complete());
+    }
+}

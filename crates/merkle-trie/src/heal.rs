@@ -1,0 +1,309 @@
+//! The "state heal" synchronization protocol over Merkle tries.
+//!
+//! This is the baseline the paper measures against in §7.3: a stale replica
+//! (Bob) holds an old version of the trie and wants the version whose root
+//! hash he learned from the latest block. He walks the remote trie top-down
+//! in lock steps — request a batch of nodes, compare each child hash with
+//! his own trie, descend only into differing subtrees — which amplifies
+//! communication, computation and latency by the trie depth (O(log N) per
+//! differing leaf and at least one round trip per level).
+//!
+//! [`HealClient`] drives Bob's side; [`serve_node_request`] implements
+//! Alice's side; both only exchange plain byte vectors so the transport (the
+//! deterministic network emulator, a real TCP socket, …) is supplied by the
+//! caller.
+
+use std::collections::VecDeque;
+
+use riblt_hash::Hash256;
+
+use crate::nibbles::from_nibbles;
+use crate::node::Node;
+use crate::trie::MerkleTrie;
+
+/// Cumulative statistics of a healing run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HealStats {
+    /// Number of request/response rounds (each costs one RTT).
+    pub rounds: usize,
+    /// Nodes requested from the server.
+    pub nodes_requested: usize,
+    /// Bytes of request messages (32 bytes per requested hash plus framing).
+    pub request_bytes: usize,
+    /// Bytes of response messages (serialized nodes).
+    pub response_bytes: usize,
+    /// Leaf key/value pairs written into the local trie.
+    pub leaves_written: usize,
+    /// Subtrees skipped because the local trie already had an identical one.
+    pub subtrees_skipped: usize,
+}
+
+impl HealStats {
+    /// Total bytes transferred in both directions.
+    pub fn total_bytes(&self) -> usize {
+        self.request_bytes + self.response_bytes
+    }
+}
+
+/// One outstanding node request: the nibble path of the node position and
+/// the expected hash.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Pending {
+    path: Vec<u8>,
+    hash: Hash256,
+}
+
+/// Bob's side of the healing protocol.
+#[derive(Debug, Clone)]
+pub struct HealClient {
+    /// The stale local trie; healed leaves are inserted as they arrive.
+    local: MerkleTrie,
+    /// Nodes still to fetch.
+    queue: VecDeque<Pending>,
+    /// Maximum node hashes per request (Geth batches similarly).
+    batch_size: usize,
+    /// In-flight requests, kept so responses can be matched to paths.
+    in_flight: Vec<Pending>,
+    stats: HealStats,
+}
+
+impl HealClient {
+    /// Starts a healing session: `local` is the stale trie, `target_root`
+    /// the root hash of the desired version, `batch_size` the number of
+    /// nodes requested per round.
+    pub fn new(local: MerkleTrie, target_root: Hash256, batch_size: usize) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        let mut client = HealClient {
+            local,
+            queue: VecDeque::new(),
+            batch_size,
+            in_flight: Vec::new(),
+            stats: HealStats::default(),
+        };
+        if !target_root.is_zero() {
+            client.enqueue(Vec::new(), target_root);
+        }
+        client
+    }
+
+    fn enqueue(&mut self, path: Vec<u8>, hash: Hash256) {
+        // Skip subtrees the local trie already holds verbatim.
+        if self.local.node_hash_at_path(&path) == Some(hash) {
+            self.stats.subtrees_skipped += 1;
+            return;
+        }
+        self.queue.push_back(Pending { path, hash });
+    }
+
+    /// True once nothing remains to fetch.
+    pub fn is_complete(&self) -> bool {
+        self.queue.is_empty() && self.in_flight.is_empty()
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> HealStats {
+        self.stats
+    }
+
+    /// The (partially) healed local trie.
+    pub fn local(&self) -> &MerkleTrie {
+        &self.local
+    }
+
+    /// Consumes the client, returning the healed trie and final statistics.
+    pub fn finish(self) -> (MerkleTrie, HealStats) {
+        (self.local, self.stats)
+    }
+
+    /// Builds the next request: up to `batch_size` node hashes. Returns
+    /// `None` when healing is complete.
+    pub fn next_request(&mut self) -> Option<Vec<Hash256>> {
+        if self.queue.is_empty() {
+            return None;
+        }
+        let take = self.batch_size.min(self.queue.len());
+        self.in_flight = (0..take).filter_map(|_| self.queue.pop_front()).collect();
+        let hashes: Vec<Hash256> = self.in_flight.iter().map(|p| p.hash).collect();
+        self.stats.rounds += 1;
+        self.stats.nodes_requested += hashes.len();
+        // 32 bytes per hash plus a small framing overhead per message.
+        self.stats.request_bytes += hashes.len() * 32 + 16;
+        Some(hashes)
+    }
+
+    /// Processes the server's response to the last request. `nodes[i]` must
+    /// be the serialization of the node whose hash was the i-th requested.
+    pub fn handle_response(&mut self, nodes: &[Vec<u8>]) {
+        let in_flight = std::mem::take(&mut self.in_flight);
+        assert_eq!(
+            nodes.len(),
+            in_flight.len(),
+            "response does not match the outstanding request"
+        );
+        for (pending, bytes) in in_flight.into_iter().zip(nodes.iter()) {
+            self.stats.response_bytes += bytes.len() + 8;
+            let node = match Node::from_bytes(bytes) {
+                Some(n) => n,
+                None => continue, // malformed node: ignore (will stall, caller notices)
+            };
+            debug_assert_eq!(node.hash(), pending.hash, "server returned a wrong node");
+            match node {
+                Node::Leaf { path, value } => {
+                    let mut full = pending.path.clone();
+                    full.extend_from_slice(&path);
+                    let key = from_nibbles(&full);
+                    self.local.insert(&key, value);
+                    self.stats.leaves_written += 1;
+                }
+                Node::Extension { path, child } => {
+                    let mut full = pending.path.clone();
+                    full.extend_from_slice(&path);
+                    self.enqueue(full, child);
+                }
+                Node::Branch { children, value } => {
+                    if let Some(v) = value {
+                        let key = from_nibbles(&pending.path);
+                        self.local.insert(&key, v);
+                        self.stats.leaves_written += 1;
+                    }
+                    for (i, child) in children.iter().enumerate() {
+                        if !child.is_zero() {
+                            let mut full = pending.path.clone();
+                            full.push(i as u8);
+                            self.enqueue(full, *child);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Alice's side: serves a batch of nodes by hash. Unknown hashes yield empty
+/// byte strings (the client treats them as protocol errors).
+pub fn serve_node_request(server: &MerkleTrie, hashes: &[Hash256]) -> Vec<Vec<u8>> {
+    hashes
+        .iter()
+        .map(|h| server.node(h).map(|n| n.to_bytes()).unwrap_or_default())
+        .collect()
+}
+
+/// Runs a complete healing session in memory and returns the healed trie and
+/// statistics. Used by tests and by experiments that only need byte/round
+/// accounting (the timed experiments drive the client over the network
+/// emulator instead).
+pub fn heal_in_memory(
+    stale: MerkleTrie,
+    server: &MerkleTrie,
+    batch_size: usize,
+) -> (MerkleTrie, HealStats) {
+    let mut client = HealClient::new(stale, server.root(), batch_size);
+    while let Some(request) = client.next_request() {
+        let response = serve_node_request(server, &request);
+        client.handle_response(&response);
+    }
+    client.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use riblt_hash::SplitMix64;
+
+    fn key(i: u64) -> [u8; 20] {
+        let mut g = SplitMix64::new(i.wrapping_mul(31) + 7);
+        let mut k = [0u8; 20];
+        g.fill_bytes(&mut k);
+        k
+    }
+
+    fn value(i: u64, version: u64) -> Vec<u8> {
+        let mut g = SplitMix64::new(i ^ (version << 32));
+        let mut v = vec![0u8; 72];
+        g.fill_bytes(&mut v);
+        v
+    }
+
+    fn build_trie(n: u64, modified: &[u64], version: u64) -> MerkleTrie {
+        let mut t = MerkleTrie::new();
+        for i in 0..n {
+            let ver = if modified.contains(&i) { version } else { 0 };
+            t.insert(&key(i), value(i, ver));
+        }
+        t
+    }
+
+    #[test]
+    fn healing_from_empty_trie_copies_everything() {
+        let server = build_trie(300, &[], 0);
+        let (healed, stats) = heal_in_memory(MerkleTrie::new(), &server, 64);
+        assert_eq!(healed.root(), server.root());
+        assert_eq!(healed.len(), 300);
+        assert_eq!(stats.leaves_written, 300);
+        assert!(stats.rounds > 1);
+    }
+
+    #[test]
+    fn healing_identical_tries_transfers_only_the_root_check() {
+        let server = build_trie(500, &[], 0);
+        let stale = build_trie(500, &[], 0);
+        let (healed, stats) = heal_in_memory(stale, &server, 64);
+        assert_eq!(healed.root(), server.root());
+        // The root hashes match, so nothing is even requested.
+        assert_eq!(stats.nodes_requested, 0);
+        assert_eq!(stats.leaves_written, 0);
+        assert_eq!(stats.subtrees_skipped, 1);
+    }
+
+    #[test]
+    fn healing_small_difference_touches_a_small_subset() {
+        let n = 2_000;
+        let modified: Vec<u64> = (0..20).collect();
+        let server = build_trie(n, &modified, 1);
+        let stale = build_trie(n, &[], 0);
+        let (healed, stats) = heal_in_memory(stale, &server, 384);
+        assert_eq!(healed.root(), server.root());
+        for &i in &modified {
+            assert_eq!(healed.get(&key(i)), Some(value(i, 1).as_slice()));
+        }
+        // Only differing branches are visited: far fewer nodes than the
+        // whole trie, but amplified by the trie depth relative to the 20
+        // differing leaves.
+        assert!(stats.leaves_written >= 20);
+        assert!(stats.nodes_requested < 600, "requested {}", stats.nodes_requested);
+        assert!(
+            stats.nodes_requested > 20,
+            "trie-depth amplification should make node count exceed leaf count"
+        );
+        assert!(stats.subtrees_skipped > 0);
+    }
+
+    #[test]
+    fn rounds_scale_with_trie_depth_not_batch_count() {
+        let n = 4_000;
+        let modified: Vec<u64> = (0..10).collect();
+        let server = build_trie(n, &modified, 3);
+        let stale = build_trie(n, &[], 0);
+        let (_, stats) = heal_in_memory(stale, &server, 384);
+        // Lock-step descent: at least as many rounds as the depth of the
+        // differing paths (≥ 3 for a few thousand random 20-byte keys).
+        assert!(stats.rounds >= 3, "rounds = {}", stats.rounds);
+    }
+
+    #[test]
+    fn byte_accounting_is_nonzero_and_consistent() {
+        let server = build_trie(1_000, &(0..50).collect::<Vec<_>>(), 2);
+        let stale = build_trie(1_000, &[], 0);
+        let (_, stats) = heal_in_memory(stale, &server, 128);
+        assert!(stats.request_bytes >= stats.nodes_requested * 32);
+        assert!(stats.response_bytes > 0);
+        assert_eq!(stats.total_bytes(), stats.request_bytes + stats.response_bytes);
+    }
+
+    #[test]
+    fn serve_unknown_hash_returns_empty() {
+        let server = build_trie(10, &[], 0);
+        let out = serve_node_request(&server, &[Hash256([9u8; 32])]);
+        assert_eq!(out, vec![Vec::<u8>::new()]);
+    }
+}

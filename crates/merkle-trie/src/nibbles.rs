@@ -1,0 +1,106 @@
+//! Nibble-path utilities for the 16-ary Merkle Patricia trie.
+//!
+//! Keys are byte strings; trie edges are labelled with 4-bit nibbles (high
+//! nibble first), matching the hexary layout Ethereum uses and that the
+//! paper's state-heal baseline traverses.
+
+/// Converts a byte key to its nibble path (two nibbles per byte, high first).
+pub fn to_nibbles(key: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(key.len() * 2);
+    for &b in key {
+        out.push(b >> 4);
+        out.push(b & 0x0f);
+    }
+    out
+}
+
+/// Converts an even-length nibble path back to bytes. Panics on odd length.
+pub fn from_nibbles(nibbles: &[u8]) -> Vec<u8> {
+    assert!(nibbles.len() % 2 == 0, "nibble path must have even length");
+    nibbles
+        .chunks_exact(2)
+        .map(|pair| (pair[0] << 4) | (pair[1] & 0x0f))
+        .collect()
+}
+
+/// Length of the longest common prefix of two nibble paths.
+pub fn common_prefix_len(a: &[u8], b: &[u8]) -> usize {
+    a.iter().zip(b.iter()).take_while(|(x, y)| x == y).count()
+}
+
+/// Packs a nibble path into bytes for serialization: a length byte followed
+/// by the nibbles two-per-byte (last byte zero-padded when the length is
+/// odd).
+pub fn pack(nibbles: &[u8]) -> Vec<u8> {
+    assert!(nibbles.len() <= u8::MAX as usize, "path too long to pack");
+    let mut out = Vec::with_capacity(1 + nibbles.len().div_ceil(2));
+    out.push(nibbles.len() as u8);
+    let mut iter = nibbles.chunks_exact(2);
+    for pair in &mut iter {
+        out.push((pair[0] << 4) | (pair[1] & 0x0f));
+    }
+    if let [last] = iter.remainder() {
+        out.push(last << 4);
+    }
+    out
+}
+
+/// Inverse of [`pack`]; returns the nibble path and the number of bytes
+/// consumed, or `None` if the buffer is truncated.
+pub fn unpack(bytes: &[u8]) -> Option<(Vec<u8>, usize)> {
+    let len = *bytes.first()? as usize;
+    let packed = len.div_ceil(2);
+    if bytes.len() < 1 + packed {
+        return None;
+    }
+    let mut nibbles = Vec::with_capacity(len);
+    for i in 0..len {
+        let byte = bytes[1 + i / 2];
+        nibbles.push(if i % 2 == 0 { byte >> 4 } else { byte & 0x0f });
+    }
+    Some((nibbles, 1 + packed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nibble_roundtrip() {
+        let key = [0x12u8, 0xab, 0xff, 0x00];
+        let nibbles = to_nibbles(&key);
+        assert_eq!(nibbles, vec![1, 2, 0xa, 0xb, 0xf, 0xf, 0, 0]);
+        assert_eq!(from_nibbles(&nibbles), key.to_vec());
+    }
+
+    #[test]
+    fn common_prefix() {
+        assert_eq!(common_prefix_len(&[1, 2, 3], &[1, 2, 4]), 2);
+        assert_eq!(common_prefix_len(&[1, 2], &[1, 2]), 2);
+        assert_eq!(common_prefix_len(&[], &[1]), 0);
+        assert_eq!(common_prefix_len(&[5], &[6]), 0);
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip_even_and_odd() {
+        for path in [vec![], vec![1], vec![1, 2], vec![0xf, 0xe, 0xd], vec![1; 40]] {
+            let packed = pack(&path);
+            let (unpacked, used) = unpack(&packed).unwrap();
+            assert_eq!(unpacked, path);
+            assert_eq!(used, packed.len());
+        }
+    }
+
+    #[test]
+    fn unpack_rejects_truncation() {
+        let packed = pack(&[1, 2, 3, 4, 5]);
+        assert!(unpack(&packed[..packed.len() - 1]).is_none());
+        assert!(unpack(&[]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "even length")]
+    fn from_nibbles_odd_panics() {
+        from_nibbles(&[1, 2, 3]);
+    }
+}

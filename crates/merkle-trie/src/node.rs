@@ -1,0 +1,265 @@
+//! Trie node types, serialization, and hashing.
+//!
+//! Three node kinds, following the Ethereum Merkle Patricia trie: leaves
+//! carry the tail of a key path and a value; extensions compress runs of
+//! single-child branches (the "shortening" optimization Geth applies);
+//! branches fan out over 16 nibbles. Node identity is the 256-bit hash of
+//! the canonical serialization, so a parent's hash commits to its entire
+//! subtree — the property the state-heal protocol relies on to skip
+//! identical subtrees.
+
+use riblt_hash::{hash256, Hash256};
+
+use crate::nibbles::{pack, unpack};
+
+/// A trie node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// A leaf: remaining key path (nibbles) plus the stored value.
+    Leaf {
+        /// Remaining nibbles of the key below this node's position.
+        path: Vec<u8>,
+        /// Stored value bytes.
+        value: Vec<u8>,
+    },
+    /// An extension: a shared run of nibbles leading to a single child.
+    Extension {
+        /// The shared nibble run.
+        path: Vec<u8>,
+        /// Hash of the only child (always a branch in a canonical trie).
+        child: Hash256,
+    },
+    /// A 16-way branch. `Hash256::ZERO` marks an absent child.
+    Branch {
+        /// Child hashes indexed by nibble.
+        children: Box<[Hash256; 16]>,
+        /// Value stored exactly at this path (unused when all keys have the
+        /// same length, kept for generality).
+        value: Option<Vec<u8>>,
+    },
+}
+
+const TAG_LEAF: u8 = 0;
+const TAG_EXTENSION: u8 = 1;
+const TAG_BRANCH: u8 = 2;
+
+impl Node {
+    /// Canonical serialization (also the wire representation served to
+    /// healing peers, so [`Self::wire_size`] doubles as the byte cost of
+    /// transferring the node).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        match self {
+            Node::Leaf { path, value } => {
+                let mut out = vec![TAG_LEAF];
+                out.extend(pack(path));
+                out.extend((value.len() as u32).to_le_bytes());
+                out.extend_from_slice(value);
+                out
+            }
+            Node::Extension { path, child } => {
+                let mut out = vec![TAG_EXTENSION];
+                out.extend(pack(path));
+                out.extend_from_slice(child.as_bytes());
+                out
+            }
+            Node::Branch { children, value } => {
+                let mut out = vec![TAG_BRANCH];
+                let mut bitmap: u16 = 0;
+                for (i, c) in children.iter().enumerate() {
+                    if !c.is_zero() {
+                        bitmap |= 1 << i;
+                    }
+                }
+                out.extend(bitmap.to_le_bytes());
+                for c in children.iter() {
+                    if !c.is_zero() {
+                        out.extend_from_slice(c.as_bytes());
+                    }
+                }
+                match value {
+                    Some(v) => {
+                        out.push(1);
+                        out.extend((v.len() as u32).to_le_bytes());
+                        out.extend_from_slice(v);
+                    }
+                    None => out.push(0),
+                }
+                out
+            }
+        }
+    }
+
+    /// Parses a node serialized by [`Self::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Option<Node> {
+        let tag = *bytes.first()?;
+        let rest = &bytes[1..];
+        match tag {
+            TAG_LEAF => {
+                let (path, used) = unpack(rest)?;
+                let rest = &rest[used..];
+                if rest.len() < 4 {
+                    return None;
+                }
+                let len = u32::from_le_bytes(rest[..4].try_into().ok()?) as usize;
+                let rest = &rest[4..];
+                if rest.len() < len {
+                    return None;
+                }
+                Some(Node::Leaf {
+                    path,
+                    value: rest[..len].to_vec(),
+                })
+            }
+            TAG_EXTENSION => {
+                let (path, used) = unpack(rest)?;
+                let rest = &rest[used..];
+                if rest.len() < 32 {
+                    return None;
+                }
+                let mut h = [0u8; 32];
+                h.copy_from_slice(&rest[..32]);
+                Some(Node::Extension {
+                    path,
+                    child: Hash256(h),
+                })
+            }
+            TAG_BRANCH => {
+                if rest.len() < 2 {
+                    return None;
+                }
+                let bitmap = u16::from_le_bytes(rest[..2].try_into().ok()?);
+                let mut rest = &rest[2..];
+                let mut children = Box::new([Hash256::ZERO; 16]);
+                for i in 0..16 {
+                    if bitmap & (1 << i) != 0 {
+                        if rest.len() < 32 {
+                            return None;
+                        }
+                        let mut h = [0u8; 32];
+                        h.copy_from_slice(&rest[..32]);
+                        children[i] = Hash256(h);
+                        rest = &rest[32..];
+                    }
+                }
+                let value = match *rest.first()? {
+                    0 => None,
+                    1 => {
+                        let rest = &rest[1..];
+                        if rest.len() < 4 {
+                            return None;
+                        }
+                        let len = u32::from_le_bytes(rest[..4].try_into().ok()?) as usize;
+                        let rest = &rest[4..];
+                        if rest.len() < len {
+                            return None;
+                        }
+                        Some(rest[..len].to_vec())
+                    }
+                    _ => return None,
+                };
+                Some(Node::Branch { children, value })
+            }
+            _ => None,
+        }
+    }
+
+    /// The node's hash (identity in the node store and on the wire).
+    pub fn hash(&self) -> Hash256 {
+        hash256(&self.to_bytes())
+    }
+
+    /// Serialized size in bytes.
+    pub fn wire_size(&self) -> usize {
+        self.to_bytes().len()
+    }
+
+    /// True for leaf nodes.
+    pub fn is_leaf(&self) -> bool {
+        matches!(self, Node::Leaf { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_branch() -> Node {
+        let mut children = Box::new([Hash256::ZERO; 16]);
+        children[3] = hash256(b"three");
+        children[0xf] = hash256(b"fifteen");
+        Node::Branch {
+            children,
+            value: None,
+        }
+    }
+
+    #[test]
+    fn roundtrip_all_node_kinds() {
+        let nodes = vec![
+            Node::Leaf {
+                path: vec![1, 2, 3],
+                value: b"hello world".to_vec(),
+            },
+            Node::Leaf {
+                path: vec![],
+                value: vec![],
+            },
+            Node::Extension {
+                path: vec![0xa, 0xb],
+                child: hash256(b"child"),
+            },
+            sample_branch(),
+            Node::Branch {
+                children: Box::new([Hash256::ZERO; 16]),
+                value: Some(b"branch value".to_vec()),
+            },
+        ];
+        for node in nodes {
+            let bytes = node.to_bytes();
+            assert_eq!(Node::from_bytes(&bytes).unwrap(), node);
+            assert_eq!(node.wire_size(), bytes.len());
+        }
+    }
+
+    #[test]
+    fn hash_commits_to_children() {
+        let a = sample_branch();
+        let mut b = a.clone();
+        if let Node::Branch { children, .. } = &mut b {
+            children[3] = hash256(b"different");
+        }
+        assert_ne!(a.hash(), b.hash());
+    }
+
+    #[test]
+    fn hash_is_deterministic() {
+        let n = Node::Leaf {
+            path: vec![1, 2],
+            value: b"v".to_vec(),
+        };
+        assert_eq!(n.hash(), n.clone().hash());
+    }
+
+    #[test]
+    fn truncated_bytes_rejected() {
+        let node = sample_branch();
+        let bytes = node.to_bytes();
+        for cut in [0, 1, 2, bytes.len() - 1] {
+            assert!(Node::from_bytes(&bytes[..cut]).is_none());
+        }
+        assert!(Node::from_bytes(&[99]).is_none());
+    }
+
+    #[test]
+    fn branch_wire_size_scales_with_occupancy() {
+        let empty = Node::Branch {
+            children: Box::new([Hash256::ZERO; 16]),
+            value: None,
+        };
+        let full = Node::Branch {
+            children: Box::new([hash256(b"x"); 16]),
+            value: None,
+        };
+        assert!(full.wire_size() > empty.wire_size() + 15 * 32);
+    }
+}

@@ -1,0 +1,463 @@
+//! The hexary Merkle Patricia trie.
+//!
+//! A persistent (path-copying) trie over a hash-addressed node store. Every
+//! mutation rewrites the nodes along one root-to-leaf path and produces a
+//! new root hash; old nodes stay in the store, which conveniently preserves
+//! historic roots for the staleness experiments (a stale replica is simply a
+//! replica whose root points at an older version).
+
+use std::collections::HashMap;
+
+use riblt_hash::Hash256;
+
+use crate::nibbles::{common_prefix_len, from_nibbles, to_nibbles};
+use crate::node::Node;
+
+/// A Merkle Patricia trie with an in-memory node store.
+#[derive(Debug, Clone, Default)]
+pub struct MerkleTrie {
+    store: HashMap<Hash256, Node>,
+    root: Hash256,
+    len: usize,
+}
+
+impl MerkleTrie {
+    /// Creates an empty trie.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current root hash (`Hash256::ZERO` for an empty trie).
+    pub fn root(&self) -> Hash256 {
+        self.root
+    }
+
+    /// Number of key/value pairs.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the trie stores nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of nodes retained in the store (includes nodes of historic
+    /// versions).
+    pub fn store_size(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Looks up a node by hash (used when serving heal requests).
+    pub fn node(&self, hash: &Hash256) -> Option<&Node> {
+        self.store.get(hash)
+    }
+
+    fn put(&mut self, node: Node) -> Hash256 {
+        let hash = node.hash();
+        self.store.insert(hash, node);
+        hash
+    }
+
+    /// Inserts (or overwrites) a key/value pair. Returns true if the key was
+    /// new.
+    pub fn insert(&mut self, key: &[u8], value: Vec<u8>) -> bool {
+        let existed = self.get(key).is_some();
+        let path = to_nibbles(key);
+        self.root = self.insert_at(self.root, &path, value);
+        if !existed {
+            self.len += 1;
+        }
+        !existed
+    }
+
+    fn insert_at(&mut self, node_hash: Hash256, path: &[u8], value: Vec<u8>) -> Hash256 {
+        if node_hash.is_zero() {
+            return self.put(Node::Leaf {
+                path: path.to_vec(),
+                value,
+            });
+        }
+        let node = self
+            .store
+            .get(&node_hash)
+            .expect("dangling node reference")
+            .clone();
+        match node {
+            Node::Leaf {
+                path: leaf_path,
+                value: leaf_value,
+            } => {
+                if leaf_path == path {
+                    return self.put(Node::Leaf {
+                        path: path.to_vec(),
+                        value,
+                    });
+                }
+                let cp = common_prefix_len(&leaf_path, path);
+                let mut children = Box::new([Hash256::ZERO; 16]);
+                let mut branch_value = None;
+                let leaf_rem = &leaf_path[cp..];
+                if leaf_rem.is_empty() {
+                    branch_value = Some(leaf_value);
+                } else {
+                    let child = self.put(Node::Leaf {
+                        path: leaf_rem[1..].to_vec(),
+                        value: leaf_value,
+                    });
+                    children[leaf_rem[0] as usize] = child;
+                }
+                let new_rem = &path[cp..];
+                if new_rem.is_empty() {
+                    branch_value = Some(value);
+                } else {
+                    let child = self.put(Node::Leaf {
+                        path: new_rem[1..].to_vec(),
+                        value,
+                    });
+                    children[new_rem[0] as usize] = child;
+                }
+                let branch = self.put(Node::Branch {
+                    children,
+                    value: branch_value,
+                });
+                if cp > 0 {
+                    self.put(Node::Extension {
+                        path: path[..cp].to_vec(),
+                        child: branch,
+                    })
+                } else {
+                    branch
+                }
+            }
+            Node::Extension {
+                path: ext_path,
+                child,
+            } => {
+                let cp = common_prefix_len(&ext_path, path);
+                if cp == ext_path.len() {
+                    let new_child = self.insert_at(child, &path[cp..], value);
+                    return self.put(Node::Extension {
+                        path: ext_path,
+                        child: new_child,
+                    });
+                }
+                let mut children = Box::new([Hash256::ZERO; 16]);
+                let mut branch_value = None;
+                let ext_rem = &ext_path[cp..];
+                let ext_sub = if ext_rem.len() == 1 {
+                    child
+                } else {
+                    self.put(Node::Extension {
+                        path: ext_rem[1..].to_vec(),
+                        child,
+                    })
+                };
+                children[ext_rem[0] as usize] = ext_sub;
+                let new_rem = &path[cp..];
+                if new_rem.is_empty() {
+                    branch_value = Some(value);
+                } else {
+                    let child = self.put(Node::Leaf {
+                        path: new_rem[1..].to_vec(),
+                        value,
+                    });
+                    children[new_rem[0] as usize] = child;
+                }
+                let branch = self.put(Node::Branch {
+                    children,
+                    value: branch_value,
+                });
+                if cp > 0 {
+                    self.put(Node::Extension {
+                        path: path[..cp].to_vec(),
+                        child: branch,
+                    })
+                } else {
+                    branch
+                }
+            }
+            Node::Branch {
+                mut children,
+                value: branch_value,
+            } => {
+                if path.is_empty() {
+                    return self.put(Node::Branch {
+                        children,
+                        value: Some(value),
+                    });
+                }
+                let idx = path[0] as usize;
+                let new_child = self.insert_at(children[idx], &path[1..], value);
+                children[idx] = new_child;
+                self.put(Node::Branch {
+                    children,
+                    value: branch_value,
+                })
+            }
+        }
+    }
+
+    /// Looks up the value stored under `key`.
+    pub fn get(&self, key: &[u8]) -> Option<&[u8]> {
+        let path = to_nibbles(key);
+        let mut current = self.root;
+        let mut remaining: &[u8] = &path;
+        loop {
+            if current.is_zero() {
+                return None;
+            }
+            match self.store.get(&current)? {
+                Node::Leaf { path, value } => {
+                    return if path.as_slice() == remaining {
+                        Some(value.as_slice())
+                    } else {
+                        None
+                    };
+                }
+                Node::Extension { path, child } => {
+                    if remaining.len() < path.len() || &remaining[..path.len()] != path.as_slice()
+                    {
+                        return None;
+                    }
+                    remaining = &remaining[path.len()..];
+                    current = *child;
+                }
+                Node::Branch { children, value } => {
+                    if remaining.is_empty() {
+                        return value.as_deref();
+                    }
+                    current = children[remaining[0] as usize];
+                    remaining = &remaining[1..];
+                }
+            }
+        }
+    }
+
+    /// True if `key` is present.
+    pub fn contains(&self, key: &[u8]) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Hash of the node rooted exactly at nibble path `path` in the current
+    /// version, if the trie has a node boundary there. Used by the healing
+    /// client to detect identical subtrees it can skip.
+    pub fn node_hash_at_path(&self, path: &[u8]) -> Option<Hash256> {
+        let mut current = self.root;
+        let mut remaining = path;
+        loop {
+            if current.is_zero() {
+                return None;
+            }
+            if remaining.is_empty() {
+                return Some(current);
+            }
+            match self.store.get(&current)? {
+                Node::Leaf { .. } => return None,
+                Node::Extension { path: ep, child } => {
+                    if remaining.len() < ep.len() || &remaining[..ep.len()] != ep.as_slice() {
+                        return None;
+                    }
+                    remaining = &remaining[ep.len()..];
+                    current = *child;
+                }
+                Node::Branch { children, .. } => {
+                    let idx = remaining[0] as usize;
+                    current = children[idx];
+                    remaining = &remaining[1..];
+                }
+            }
+        }
+    }
+
+    /// Enumerates every key/value pair reachable from the current root.
+    pub fn leaves(&self) -> Vec<(Vec<u8>, Vec<u8>)> {
+        let mut out = Vec::with_capacity(self.len);
+        self.collect_leaves(self.root, &mut Vec::new(), &mut out);
+        out
+    }
+
+    fn collect_leaves(&self, node: Hash256, prefix: &mut Vec<u8>, out: &mut Vec<(Vec<u8>, Vec<u8>)>) {
+        if node.is_zero() {
+            return;
+        }
+        match self.store.get(&node).expect("dangling node reference") {
+            Node::Leaf { path, value } => {
+                let mut full = prefix.clone();
+                full.extend_from_slice(path);
+                out.push((from_nibbles(&full), value.clone()));
+            }
+            Node::Extension { path, child } => {
+                let depth = prefix.len();
+                prefix.extend_from_slice(path);
+                self.collect_leaves(*child, prefix, out);
+                prefix.truncate(depth);
+            }
+            Node::Branch { children, value } => {
+                if let Some(v) = value {
+                    out.push((from_nibbles(prefix), v.clone()));
+                }
+                for (i, child) in children.iter().enumerate() {
+                    if !child.is_zero() {
+                        prefix.push(i as u8);
+                        self.collect_leaves(*child, prefix, out);
+                        prefix.pop();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Counts the nodes reachable from the current root (a full traversal;
+    /// used by tests and the experiment harness, not by the hot path).
+    pub fn reachable_nodes(&self) -> usize {
+        fn walk(trie: &MerkleTrie, node: Hash256, count: &mut usize) {
+            if node.is_zero() {
+                return;
+            }
+            *count += 1;
+            match trie.store.get(&node).expect("dangling node reference") {
+                Node::Leaf { .. } => {}
+                Node::Extension { child, .. } => walk(trie, *child, count),
+                Node::Branch { children, .. } => {
+                    for c in children.iter() {
+                        walk(trie, *c, count);
+                    }
+                }
+            }
+        }
+        let mut count = 0;
+        walk(self, self.root, &mut count);
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use riblt_hash::SplitMix64;
+
+    fn key(i: u64) -> [u8; 20] {
+        let mut g = SplitMix64::new(i.wrapping_mul(0x9e37_79b9) + 1);
+        let mut k = [0u8; 20];
+        g.fill_bytes(&mut k);
+        k
+    }
+
+    fn value(i: u64) -> Vec<u8> {
+        let mut g = SplitMix64::new(i ^ 0xabcdef);
+        let mut v = vec![0u8; 72];
+        g.fill_bytes(&mut v);
+        v
+    }
+
+    #[test]
+    fn insert_and_get_roundtrip() {
+        let mut trie = MerkleTrie::new();
+        for i in 0..500u64 {
+            assert!(trie.insert(&key(i), value(i)));
+        }
+        assert_eq!(trie.len(), 500);
+        for i in 0..500u64 {
+            assert_eq!(trie.get(&key(i)), Some(value(i).as_slice()));
+        }
+        assert!(trie.get(&key(10_000)).is_none());
+    }
+
+    #[test]
+    fn overwrite_does_not_grow_len_but_changes_root() {
+        let mut trie = MerkleTrie::new();
+        trie.insert(&key(1), value(1));
+        let root1 = trie.root();
+        assert!(!trie.insert(&key(1), value(2)));
+        assert_eq!(trie.len(), 1);
+        assert_ne!(trie.root(), root1);
+        assert_eq!(trie.get(&key(1)), Some(value(2).as_slice()));
+    }
+
+    #[test]
+    fn root_is_order_independent() {
+        let keys: Vec<u64> = (0..200).collect();
+        let mut a = MerkleTrie::new();
+        for &i in &keys {
+            a.insert(&key(i), value(i));
+        }
+        let mut b = MerkleTrie::new();
+        for &i in keys.iter().rev() {
+            b.insert(&key(i), value(i));
+        }
+        assert_eq!(a.root(), b.root());
+    }
+
+    #[test]
+    fn root_changes_with_any_single_value() {
+        let mut a = MerkleTrie::new();
+        let mut b = MerkleTrie::new();
+        for i in 0..100u64 {
+            a.insert(&key(i), value(i));
+            b.insert(&key(i), if i == 57 { value(9999) } else { value(i) });
+        }
+        assert_ne!(a.root(), b.root());
+    }
+
+    #[test]
+    fn leaves_enumerates_everything() {
+        let mut trie = MerkleTrie::new();
+        for i in 0..300u64 {
+            trie.insert(&key(i), value(i));
+        }
+        let mut leaves = trie.leaves();
+        leaves.sort();
+        assert_eq!(leaves.len(), 300);
+        let mut expected: Vec<(Vec<u8>, Vec<u8>)> =
+            (0..300u64).map(|i| (key(i).to_vec(), value(i))).collect();
+        expected.sort();
+        assert_eq!(leaves, expected);
+    }
+
+    #[test]
+    fn node_hash_at_root_path_is_root() {
+        let mut trie = MerkleTrie::new();
+        for i in 0..50u64 {
+            trie.insert(&key(i), value(i));
+        }
+        assert_eq!(trie.node_hash_at_path(&[]), Some(trie.root()));
+    }
+
+    #[test]
+    fn historic_roots_remain_resolvable() {
+        let mut trie = MerkleTrie::new();
+        for i in 0..50u64 {
+            trie.insert(&key(i), value(i));
+        }
+        let old_root = trie.root();
+        for i in 50..100u64 {
+            trie.insert(&key(i), value(i));
+        }
+        assert_ne!(trie.root(), old_root);
+        // The old root's node is still in the store (persistence).
+        assert!(trie.node(&old_root).is_some());
+    }
+
+    #[test]
+    fn empty_trie_behaviour() {
+        let trie = MerkleTrie::new();
+        assert!(trie.is_empty());
+        assert!(trie.root().is_zero());
+        assert!(trie.get(b"missing-key-of-any-length!").is_none());
+        assert!(trie.leaves().is_empty());
+        assert_eq!(trie.reachable_nodes(), 0);
+    }
+
+    #[test]
+    fn reachable_nodes_is_consistent_with_size() {
+        let mut trie = MerkleTrie::new();
+        for i in 0..200u64 {
+            trie.insert(&key(i), value(i));
+        }
+        let reachable = trie.reachable_nodes();
+        // At least one node per leaf, at most a small multiple.
+        assert!(reachable >= 200);
+        assert!(reachable < 200 * 3);
+    }
+}

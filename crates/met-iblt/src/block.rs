@@ -1,0 +1,102 @@
+//! Extension blocks of the rate-compatible (MET) IBLT.
+//!
+//! Each block is a small fixed IBLT with its own key (so cell positions in
+//! different blocks are independent) sized so that the *cumulative* table —
+//! blocks 0..=j together — can decode one of the pre-selected target
+//! difference sizes. A sender transmits blocks in order until the receiver
+//! reports success, which is the rate-compatible behaviour described by
+//! Lázaro & Matuz (2023) and summarized in the paper's §2.
+
+use iblt::Iblt;
+use riblt::Symbol;
+use riblt_hash::{splitmix64, SipKey};
+
+/// Geometry of one extension block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockSpec {
+    /// Number of cells in this block.
+    pub cells: usize,
+    /// Number of hash functions items use within this block.
+    pub hash_count: usize,
+    /// Cumulative target difference size blocks 0..=this are optimized for.
+    pub target_diff: u64,
+}
+
+/// Derives the per-block checksum key from the session key and block index,
+/// so the k cell positions of an item are independent across blocks.
+pub fn block_key(base: SipKey, block_index: usize) -> SipKey {
+    SipKey::new(
+        splitmix64(base.k0 ^ (block_index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+        splitmix64(base.k1 ^ (block_index as u64 + 1).wrapping_mul(0xc2b2_ae3d_27d4_eb4f)),
+    )
+}
+
+/// Builds an empty block with the given spec.
+pub fn empty_block<S: Symbol>(spec: BlockSpec, base_key: SipKey, index: usize) -> Iblt<S> {
+    Iblt::with_key(spec.cells, spec.hash_count, block_key(base_key, index))
+}
+
+/// The default ladder of pre-selected difference sizes. Differences close to
+/// a rung decode with near-IBLT overhead; differences between rungs pay the
+/// 4–10× inflation the paper reports for MET-IBLT at non-optimized sizes.
+pub const DEFAULT_TARGETS: [u64; 6] = [16, 80, 400, 2_000, 10_000, 50_000];
+
+/// Computes the block ladder for a list of cumulative target sizes.
+///
+/// The cumulative cell count after block `j` follows the regular-IBLT
+/// parameter rule for `targets[j]`; each block carries the increment.
+pub fn build_specs(targets: &[u64]) -> Vec<BlockSpec> {
+    assert!(!targets.is_empty(), "need at least one target difference size");
+    assert!(
+        targets.windows(2).all(|w| w[0] < w[1]),
+        "targets must strictly increase"
+    );
+    let mut specs = Vec::with_capacity(targets.len());
+    let mut cumulative = 0usize;
+    for &target in targets {
+        let params = iblt::recommended(target);
+        let total = params.cells.max(cumulative + 1);
+        specs.push(BlockSpec {
+            cells: total - cumulative,
+            hash_count: params.hash_count,
+            target_diff: target,
+        });
+        cumulative = total;
+    }
+    specs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_are_increasing_and_positive() {
+        let specs = build_specs(&DEFAULT_TARGETS);
+        assert_eq!(specs.len(), DEFAULT_TARGETS.len());
+        for spec in &specs {
+            assert!(spec.cells > 0);
+        }
+        // Cumulative cells must be enough for the cumulative target.
+        let mut cumulative = 0usize;
+        for spec in &specs {
+            cumulative += spec.cells;
+            assert!(cumulative as u64 >= spec.target_diff);
+        }
+    }
+
+    #[test]
+    fn block_keys_differ_per_block() {
+        let base = SipKey::default();
+        let k0 = block_key(base, 0);
+        let k1 = block_key(base, 1);
+        assert_ne!(k0, k1);
+        assert_eq!(block_key(base, 1), k1);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increase")]
+    fn non_increasing_targets_rejected() {
+        build_specs(&[100, 100]);
+    }
+}

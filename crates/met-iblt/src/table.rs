@@ -1,0 +1,274 @@
+//! The rate-compatible MET-IBLT table.
+//!
+//! Every item is inserted into *every* block; a receiver that has obtained
+//! the first `b` blocks decodes them jointly (peeling across blocks). More
+//! blocks are requested until decoding succeeds. Unlike Rateless IBLT the
+//! block ladder is fixed ahead of time and optimized for a handful of
+//! difference sizes, and there is no practical way to generate the blocks
+//! incrementally per peer — the limitations §2 of the paper points out.
+
+use iblt::{Cell, Iblt};
+use riblt::{SetDifference, Symbol};
+use riblt_hash::SipKey;
+
+use crate::block::{build_specs, empty_block, BlockSpec, DEFAULT_TARGETS};
+
+/// A multi-block, rate-compatible IBLT.
+#[derive(Debug, Clone)]
+pub struct MetIblt<S: Symbol> {
+    blocks: Vec<Iblt<S>>,
+    specs: Vec<BlockSpec>,
+    key: SipKey,
+}
+
+/// Result of decoding with a prefix of blocks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetDecode<S> {
+    /// Recovered difference (complete only if `complete` is true).
+    pub difference: SetDifference<S>,
+    /// Whether every block emptied out.
+    pub complete: bool,
+    /// Number of blocks that were used.
+    pub blocks_used: usize,
+}
+
+impl<S: Symbol> MetIblt<S> {
+    /// Creates an empty table with the default target ladder.
+    pub fn new() -> Self {
+        Self::with_targets(&DEFAULT_TARGETS, SipKey::default())
+    }
+
+    /// Creates an empty table for explicit cumulative target sizes.
+    pub fn with_targets(targets: &[u64], key: SipKey) -> Self {
+        let specs = build_specs(targets);
+        let blocks = specs
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| empty_block(*spec, key, i))
+            .collect();
+        MetIblt { blocks, specs, key }
+    }
+
+    /// Builds the table of a whole set.
+    pub fn from_set<'a>(items: impl IntoIterator<Item = &'a S>) -> Self
+    where
+        S: 'a,
+    {
+        let mut t = Self::new();
+        for item in items {
+            t.insert(item);
+        }
+        t
+    }
+
+    /// Number of blocks in the ladder.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// The block specifications.
+    pub fn specs(&self) -> &[BlockSpec] {
+        &self.specs
+    }
+
+    /// Total number of cells in the first `blocks` blocks.
+    pub fn cells_up_to(&self, blocks: usize) -> usize {
+        self.specs[..blocks.min(self.specs.len())]
+            .iter()
+            .map(|s| s.cells)
+            .sum()
+    }
+
+    /// Wire size (bytes) of transmitting the first `blocks` blocks, with the
+    /// paper's per-cell accounting (item + 8-byte checksum + 8-byte count).
+    pub fn wire_size_up_to(&self, blocks: usize, item_len: usize) -> usize {
+        self.cells_up_to(blocks) * Cell::<S>::wire_size(item_len, 8)
+    }
+
+    /// Inserts an item into every block.
+    pub fn insert(&mut self, item: &S) {
+        for block in &mut self.blocks {
+            block.insert(item);
+        }
+    }
+
+    /// Deletes an item from every block.
+    pub fn delete(&mut self, item: &S) {
+        for block in &mut self.blocks {
+            block.delete(item);
+        }
+    }
+
+    /// Cell-wise subtraction (both parties must use the same ladder & key).
+    pub fn subtract(&mut self, other: &MetIblt<S>) {
+        assert_eq!(self.specs, other.specs, "MET-IBLT ladder mismatch");
+        for (a, b) in self.blocks.iter_mut().zip(other.blocks.iter()) {
+            a.subtract(b);
+        }
+    }
+
+    /// Returns `self ⊖ other`.
+    pub fn subtracted(&self, other: &MetIblt<S>) -> MetIblt<S> {
+        let mut out = self.clone();
+        out.subtract(&other.clone());
+        out
+    }
+
+    /// Jointly peels the first `blocks_used` blocks of a *difference* table.
+    pub fn decode_with_blocks(&self, blocks_used: usize) -> MetDecode<S> {
+        let blocks_used = blocks_used.clamp(1, self.blocks.len());
+        let mut work: Vec<Iblt<S>> = self.blocks[..blocks_used].to_vec();
+        let mut diff = SetDifference::default();
+
+        // Joint peeling: repeatedly find a pure cell in any block, recover
+        // the item, and cancel it from every block.
+        loop {
+            let mut progressed = false;
+            for b in 0..work.len() {
+                // Collect pure items of this block without holding a borrow.
+                let pures: Vec<(S, bool)> = {
+                    let decoded = work[b].decode();
+                    let complete = decoded.is_complete();
+                    let d = decoded.difference();
+                    if d.len() == 0 && !complete {
+                        Vec::new()
+                    } else {
+                        d.remote_only
+                            .into_iter()
+                            .map(|s| (s, true))
+                            .chain(d.local_only.into_iter().map(|s| (s, false)))
+                            .collect()
+                    }
+                };
+                for (item, is_remote) in pures {
+                    progressed = true;
+                    // Cancel from every block (including the one it was
+                    // recovered from).
+                    for blk in work.iter_mut() {
+                        if is_remote {
+                            blk.delete(&item);
+                        } else {
+                            blk.insert(&item);
+                        }
+                    }
+                    if is_remote {
+                        diff.remote_only.push(item);
+                    } else {
+                        diff.local_only.push(item);
+                    }
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+
+        let complete = work.iter().all(|b| b.cells().iter().all(|c| c.is_empty()));
+        MetDecode {
+            difference: diff,
+            complete,
+            blocks_used,
+        }
+    }
+
+    /// Decodes with the smallest block prefix that succeeds; returns the
+    /// decode result (with `blocks_used` set accordingly) or the failed
+    /// attempt with all blocks if none suffices.
+    pub fn decode_minimal(&self) -> MetDecode<S> {
+        for b in 1..=self.blocks.len() {
+            let out = self.decode_with_blocks(b);
+            if out.complete {
+                return out;
+            }
+        }
+        self.decode_with_blocks(self.blocks.len())
+    }
+
+    /// The checksum key.
+    pub fn key(&self) -> SipKey {
+        self.key
+    }
+}
+
+impl<S: Symbol> Default for MetIblt<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use riblt::FixedBytes;
+    use std::collections::BTreeSet;
+
+    type Sym = FixedBytes<8>;
+
+    fn syms(range: std::ops::Range<u64>) -> Vec<Sym> {
+        range.map(Sym::from_u64).collect()
+    }
+
+    fn to_set(v: &[Sym]) -> BTreeSet<u64> {
+        v.iter().map(|s| s.to_u64()).collect()
+    }
+
+    #[test]
+    fn small_difference_decodes_with_first_block() {
+        let alice = syms(0..2_000);
+        let bob = syms(5..2_005);
+        let ta = MetIblt::from_set(alice.iter());
+        let tb = MetIblt::from_set(bob.iter());
+        let out = ta.subtracted(&tb).decode_minimal();
+        assert!(out.complete);
+        assert_eq!(out.blocks_used, 1, "d=10 should fit the first block");
+        assert_eq!(to_set(&out.difference.remote_only), (0..5).collect());
+        assert_eq!(to_set(&out.difference.local_only), (2000..2005).collect());
+    }
+
+    #[test]
+    fn larger_difference_needs_more_blocks() {
+        let alice = syms(0..3_000);
+        let bob = syms(150..3_150);
+        let ta = MetIblt::from_set(alice.iter());
+        let tb = MetIblt::from_set(bob.iter());
+        let out = ta.subtracted(&tb).decode_minimal();
+        assert!(out.complete);
+        assert!(
+            out.blocks_used >= 2,
+            "d=300 should not fit the 16-target block"
+        );
+        assert_eq!(out.difference.len(), 300);
+    }
+
+    #[test]
+    fn insufficient_blocks_reports_incomplete() {
+        let alice = syms(0..1_000);
+        let bob: Vec<Sym> = Vec::new();
+        let ta = MetIblt::from_set(alice.iter());
+        let tb = MetIblt::from_set(bob.iter());
+        let out = ta.subtracted(&tb).decode_with_blocks(1);
+        assert!(!out.complete, "1000 differences cannot fit the first block");
+    }
+
+    #[test]
+    fn wire_size_grows_with_blocks() {
+        let t = MetIblt::<Sym>::new();
+        let one = t.wire_size_up_to(1, 32);
+        let two = t.wire_size_up_to(2, 32);
+        assert!(two > one);
+        assert_eq!(
+            t.wire_size_up_to(t.num_blocks(), 32),
+            t.cells_up_to(t.num_blocks()) * 48
+        );
+    }
+
+    #[test]
+    fn insert_delete_roundtrip() {
+        let mut t = MetIblt::<Sym>::new();
+        t.insert(&Sym::from_u64(77));
+        t.delete(&Sym::from_u64(77));
+        let out = t.decode_with_blocks(t.num_blocks());
+        assert!(out.complete);
+        assert!(out.difference.is_empty());
+    }
+}

@@ -1,0 +1,19 @@
+//! Network substrate for the end-to-end experiments.
+//!
+//! * [`SimLink`] / [`LinkConfig`] — deterministic virtual-time link with
+//!   propagation delay and bandwidth caps, substituting for the paper's
+//!   Dummynet testbed (DESIGN.md §4).
+//! * [`TimeSeries`] — byte-delivery accounting for bandwidth traces
+//!   (Fig. 13).
+//! * [`write_frame`] / [`read_frame`] — length-prefixed framing for the real
+//!   TCP examples.
+
+#![warn(missing_docs)]
+
+mod link;
+mod tcp;
+mod timeseries;
+
+pub use link::{LinkConfig, LinkDirection, SimLink};
+pub use tcp::{read_frame, write_frame, MAX_FRAME_BYTES};
+pub use timeseries::TimeSeries;

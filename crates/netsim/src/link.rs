@@ -1,0 +1,197 @@
+//! Deterministic virtual-time point-to-point link.
+//!
+//! The paper's end-to-end experiments run two replicas connected by a
+//! Dummynet-shaped link: 50 ms one-way propagation delay and a configurable
+//! bandwidth cap (§7.3). We reproduce the link as a virtual-time model —
+//! messages are serialized at the link rate at the sender, then propagate —
+//! so experiments are deterministic and do not need root privileges or real
+//! sleeps. Actual CPU time spent by the protocol endpoints is folded into
+//! the same clock by the sync drivers, which is how "compute-bound vs
+//! throughput-bound" behaviour (Fig. 14) emerges from measurements.
+
+use crate::timeseries::TimeSeries;
+
+/// Direction of travel on the link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkDirection {
+    /// From the requesting replica (Bob) to the serving replica (Alice).
+    ClientToServer,
+    /// From the serving replica (Alice) to the requesting replica (Bob).
+    ServerToClient,
+}
+
+/// Static link parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkConfig {
+    /// One-way propagation delay in seconds (the paper uses 0.050).
+    pub one_way_delay_s: f64,
+    /// Bandwidth cap in bits per second; `None` means uncapped.
+    pub bandwidth_bps: Option<f64>,
+}
+
+impl LinkConfig {
+    /// The paper's default: 50 ms one-way delay, 20 Mbps.
+    pub fn paper_default() -> Self {
+        LinkConfig {
+            one_way_delay_s: 0.050,
+            bandwidth_bps: Some(20_000_000.0),
+        }
+    }
+
+    /// A link with the given bandwidth in Mbps and 50 ms delay.
+    pub fn with_mbps(mbps: f64) -> Self {
+        LinkConfig {
+            one_way_delay_s: 0.050,
+            bandwidth_bps: Some(mbps * 1_000_000.0),
+        }
+    }
+
+    /// An uncapped link with 50 ms delay.
+    pub fn unlimited() -> Self {
+        LinkConfig {
+            one_way_delay_s: 0.050,
+            bandwidth_bps: None,
+        }
+    }
+
+    /// Round-trip time in seconds.
+    pub fn rtt(&self) -> f64 {
+        2.0 * self.one_way_delay_s
+    }
+}
+
+/// A bidirectional link with independent serialization in each direction.
+#[derive(Debug, Clone)]
+pub struct SimLink {
+    config: LinkConfig,
+    busy_until_c2s: f64,
+    busy_until_s2c: f64,
+    /// Delivery events in the server→client direction (the bulk direction
+    /// for both sync protocols), for Fig.-13-style traces.
+    downstream_series: TimeSeries,
+    bytes_c2s: usize,
+    bytes_s2c: usize,
+}
+
+impl SimLink {
+    /// Creates a link with the given configuration.
+    pub fn new(config: LinkConfig) -> Self {
+        SimLink {
+            config,
+            busy_until_c2s: 0.0,
+            busy_until_s2c: 0.0,
+            downstream_series: TimeSeries::new(),
+            bytes_c2s: 0,
+            bytes_s2c: 0,
+        }
+    }
+
+    /// The link configuration.
+    pub fn config(&self) -> LinkConfig {
+        self.config
+    }
+
+    /// Total bytes sent client→server.
+    pub fn bytes_client_to_server(&self) -> usize {
+        self.bytes_c2s
+    }
+
+    /// Total bytes sent server→client.
+    pub fn bytes_server_to_client(&self) -> usize {
+        self.bytes_s2c
+    }
+
+    /// Total bytes in both directions.
+    pub fn total_bytes(&self) -> usize {
+        self.bytes_c2s + self.bytes_s2c
+    }
+
+    /// Bandwidth trace of the server→client direction.
+    pub fn downstream_series(&self) -> &TimeSeries {
+        &self.downstream_series
+    }
+
+    fn serialization_time(&self, bytes: usize) -> f64 {
+        match self.config.bandwidth_bps {
+            Some(bps) => bytes as f64 * 8.0 / bps,
+            None => 0.0,
+        }
+    }
+
+    /// Sends `bytes` in `direction` at virtual time `sent_at` (seconds).
+    /// Returns the time at which the last byte arrives at the other end.
+    ///
+    /// Messages in the same direction queue behind each other (sender-side
+    /// serialization); the two directions are independent (full duplex).
+    pub fn send(&mut self, direction: LinkDirection, sent_at: f64, bytes: usize) -> f64 {
+        let ser = self.serialization_time(bytes);
+        let (busy, counter) = match direction {
+            LinkDirection::ClientToServer => (&mut self.busy_until_c2s, &mut self.bytes_c2s),
+            LinkDirection::ServerToClient => (&mut self.busy_until_s2c, &mut self.bytes_s2c),
+        };
+        let start = sent_at.max(*busy);
+        let done_tx = start + ser;
+        *busy = done_tx;
+        *counter += bytes;
+        if direction == LinkDirection::ServerToClient {
+            self.downstream_series.record(done_tx, bytes);
+        }
+        done_tx + self.config.one_way_delay_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uncapped_link_adds_only_propagation_delay() {
+        let mut link = SimLink::new(LinkConfig::unlimited());
+        let arrival = link.send(LinkDirection::ClientToServer, 1.0, 1_000_000);
+        assert!((arrival - 1.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capped_link_serializes_at_line_rate() {
+        // 20 Mbps, 2.5 MB message: 1 second of serialization + 50 ms.
+        let mut link = SimLink::new(LinkConfig::with_mbps(20.0));
+        let arrival = link.send(LinkDirection::ServerToClient, 0.0, 2_500_000);
+        assert!((arrival - 1.05).abs() < 1e-6, "arrival = {arrival}");
+    }
+
+    #[test]
+    fn messages_queue_behind_each_other() {
+        let mut link = SimLink::new(LinkConfig::with_mbps(8.0)); // 1 MB/s
+        let first = link.send(LinkDirection::ServerToClient, 0.0, 1_000_000);
+        // Second message sent "at the same time" must wait for the first.
+        let second = link.send(LinkDirection::ServerToClient, 0.0, 1_000_000);
+        assert!((first - 1.05).abs() < 1e-6);
+        assert!((second - 2.05).abs() < 1e-6);
+    }
+
+    #[test]
+    fn directions_are_independent() {
+        let mut link = SimLink::new(LinkConfig::with_mbps(8.0));
+        let down = link.send(LinkDirection::ServerToClient, 0.0, 1_000_000);
+        let up = link.send(LinkDirection::ClientToServer, 0.0, 1_000_000);
+        assert!((down - up).abs() < 1e-9, "full duplex directions should not interfere");
+    }
+
+    #[test]
+    fn byte_counters_accumulate() {
+        let mut link = SimLink::new(LinkConfig::paper_default());
+        link.send(LinkDirection::ClientToServer, 0.0, 100);
+        link.send(LinkDirection::ServerToClient, 0.0, 900);
+        assert_eq!(link.bytes_client_to_server(), 100);
+        assert_eq!(link.bytes_server_to_client(), 900);
+        assert_eq!(link.total_bytes(), 1000);
+        assert_eq!(link.downstream_series().total_bytes(), 900);
+    }
+
+    #[test]
+    fn paper_default_matches_section_7_3() {
+        let cfg = LinkConfig::paper_default();
+        assert!((cfg.rtt() - 0.1).abs() < 1e-12);
+        assert_eq!(cfg.bandwidth_bps, Some(20_000_000.0));
+    }
+}

@@ -1,0 +1,87 @@
+//! Minimal length-prefixed framing over real TCP streams.
+//!
+//! The runnable examples exercise the reconciliation protocol over actual
+//! `std::net` sockets on localhost (the library itself is transport
+//! agnostic). Frames are `u32` little-endian length followed by the payload.
+
+use std::io::{self, Read, Write};
+
+/// Upper bound on a single frame (guards against malformed peers allocating
+/// unbounded memory).
+pub const MAX_FRAME_BYTES: usize = 64 * 1024 * 1024;
+
+/// Writes one length-prefixed frame.
+pub fn write_frame<W: Write>(writer: &mut W, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+    writer.write_all(&len.to_le_bytes())?;
+    writer.write_all(payload)?;
+    writer.flush()
+}
+
+/// Reads one length-prefixed frame.
+pub fn read_frame<R: Read>(reader: &mut R) -> io::Result<Vec<u8>> {
+    let mut len_bytes = [0u8; 4];
+    reader.read_exact(&mut len_bytes)?;
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame exceeds MAX_FRAME_BYTES",
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    reader.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn roundtrip_frames() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        write_frame(&mut buf, &vec![7u8; 10_000]).unwrap();
+        let mut cursor = Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap(), b"hello");
+        assert_eq!(read_frame(&mut cursor).unwrap(), b"");
+        assert_eq!(read_frame(&mut cursor).unwrap(), vec![7u8; 10_000]);
+    }
+
+    #[test]
+    fn truncated_frame_errors() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        buf.truncate(buf.len() - 2);
+        let mut cursor = Cursor::new(buf);
+        assert!(read_frame(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        let mut cursor = Cursor::new(buf);
+        assert!(read_frame(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn over_real_sockets() {
+        use std::net::{TcpListener, TcpStream};
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().unwrap();
+            let msg = read_frame(&mut conn).unwrap();
+            write_frame(&mut conn, &msg).unwrap();
+        });
+        let mut client = TcpStream::connect(addr).unwrap();
+        write_frame(&mut client, b"ping over tcp").unwrap();
+        assert_eq!(read_frame(&mut client).unwrap(), b"ping over tcp");
+        handle.join().unwrap();
+    }
+}

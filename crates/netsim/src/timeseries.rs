@@ -1,0 +1,122 @@
+//! Byte-accounting time series.
+//!
+//! The bandwidth-trace experiment (paper Fig. 13) plots how link utilization
+//! evolves over a synchronization run. [`TimeSeries`] records byte deliveries
+//! at virtual-time instants and bins them into a bandwidth-over-time curve.
+
+/// A series of (time, bytes) delivery events.
+#[derive(Debug, Clone, Default)]
+pub struct TimeSeries {
+    events: Vec<(f64, usize)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that `bytes` bytes finished transmitting at time `at` (s).
+    pub fn record(&mut self, at: f64, bytes: usize) {
+        if bytes > 0 {
+            self.events.push((at, bytes));
+        }
+    }
+
+    /// Total bytes recorded.
+    pub fn total_bytes(&self) -> usize {
+        self.events.iter().map(|(_, b)| b).sum()
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Time of the last event (0 if empty).
+    pub fn end_time(&self) -> f64 {
+        self.events
+            .iter()
+            .map(|(t, _)| *t)
+            .fold(0.0, f64::max)
+    }
+
+    /// Bins events into intervals of `bin_seconds`, returning
+    /// `(bin start time, megabits per second)` rows — the series plotted in
+    /// Fig. 13.
+    pub fn bandwidth_mbps(&self, bin_seconds: f64) -> Vec<(f64, f64)> {
+        assert!(bin_seconds > 0.0);
+        if self.events.is_empty() {
+            return Vec::new();
+        }
+        let end = self.end_time();
+        let bins = (end / bin_seconds).floor() as usize + 1;
+        let mut totals = vec![0usize; bins];
+        for &(t, b) in &self.events {
+            let idx = ((t / bin_seconds).floor() as usize).min(bins - 1);
+            totals[idx] += b;
+        }
+        totals
+            .into_iter()
+            .enumerate()
+            .map(|(i, bytes)| {
+                (
+                    i as f64 * bin_seconds,
+                    bytes as f64 * 8.0 / 1_000_000.0 / bin_seconds,
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_end_time() {
+        let mut ts = TimeSeries::new();
+        ts.record(0.1, 1000);
+        ts.record(0.9, 500);
+        ts.record(0.5, 0); // ignored
+        assert_eq!(ts.total_bytes(), 1500);
+        assert_eq!(ts.len(), 2);
+        assert!((ts.end_time() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bandwidth_binning() {
+        let mut ts = TimeSeries::new();
+        // 1 MB delivered in the first 100 ms bin.
+        ts.record(0.05, 1_000_000);
+        let bins = ts.bandwidth_mbps(0.1);
+        assert_eq!(bins.len(), 1);
+        // 1 MB in 0.1 s = 80 Mbps.
+        assert!((bins[0].1 - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn events_spread_across_bins() {
+        let mut ts = TimeSeries::new();
+        ts.record(0.05, 100);
+        ts.record(0.25, 200);
+        ts.record(0.26, 300);
+        let bins = ts.bandwidth_mbps(0.1);
+        assert_eq!(bins.len(), 3);
+        assert!(bins[1].1.abs() < 1e-12, "middle bin should be empty");
+        assert!(bins[2].1 > bins[0].1);
+    }
+
+    #[test]
+    fn empty_series() {
+        let ts = TimeSeries::new();
+        assert!(ts.is_empty());
+        assert!(ts.bandwidth_mbps(1.0).is_empty());
+        assert_eq!(ts.end_time(), 0.0);
+    }
+}

@@ -1,0 +1,130 @@
+//! Berlekamp–Massey over GF(2^64).
+//!
+//! Given the syndrome sequence of the set difference, Berlekamp–Massey finds
+//! the minimal LFSR feedback polynomial — the BCH error-locator polynomial
+//! whose roots are the inverses of the difference elements. Its O(d²) field
+//! operations are the dominant cost of PinSketch decoding, which is exactly
+//! the quadratic blow-up the paper measures in Fig. 9.
+
+use crate::gf64::Gf64;
+use crate::poly::Poly;
+
+/// Runs Berlekamp–Massey on `syndromes` (s₁, s₂, …, s_N in order).
+///
+/// Returns the connection polynomial `C(x) = 1 + c₁x + … + c_Lx^L` and the
+/// LFSR length `L`.
+pub fn berlekamp_massey(syndromes: &[Gf64]) -> (Poly, usize) {
+    let n = syndromes.len();
+    let mut c = Poly::one(); // current connection polynomial
+    let mut b = Poly::one(); // previous connection polynomial
+    let mut l = 0usize; // current LFSR length
+    let mut m = 1usize; // steps since last length change
+    let mut last_discrepancy = Gf64::ONE;
+
+    for i in 0..n {
+        // Discrepancy d = s_i + Σ_{j=1..L} c_j s_{i−j}.
+        let mut d = syndromes[i];
+        for j in 1..=l {
+            d = d.add(c.coeff(j).mul(syndromes[i - j]));
+        }
+        if d.is_zero() {
+            m += 1;
+        } else if 2 * l <= i {
+            let t = c.clone();
+            let factor = d.div(last_discrepancy);
+            c = c.add(&Poly::monomial(factor, m).mul(&b));
+            l = i + 1 - l;
+            b = t;
+            last_discrepancy = d;
+            m = 1;
+        } else {
+            let factor = d.div(last_discrepancy);
+            c = c.add(&Poly::monomial(factor, m).mul(&b));
+            m += 1;
+        }
+    }
+    (c, l)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the syndrome sequence s_j = Σ xᵏ for j = 1..=n over the given
+    /// elements.
+    fn syndromes_of(elements: &[u64], n: usize) -> Vec<Gf64> {
+        let mut out = vec![Gf64::ZERO; n];
+        for &e in elements {
+            let x = Gf64(e);
+            let mut cur = x;
+            for s in out.iter_mut() {
+                *s = s.add(cur);
+                cur = cur.mul(x);
+            }
+        }
+        out
+    }
+
+    /// The locator polynomial should annihilate the syndrome recurrence.
+    fn check_recurrence(c: &Poly, l: usize, syndromes: &[Gf64]) {
+        for i in l..syndromes.len() {
+            let mut acc = syndromes[i];
+            for j in 1..=l {
+                acc = acc.add(c.coeff(j).mul(syndromes[i - j]));
+            }
+            assert!(acc.is_zero(), "recurrence violated at position {i}");
+        }
+    }
+
+    #[test]
+    fn empty_syndromes_give_trivial_locator() {
+        let (c, l) = berlekamp_massey(&[]);
+        assert_eq!(l, 0);
+        assert_eq!(c, Poly::one());
+    }
+
+    #[test]
+    fn single_element_gives_degree_one_locator() {
+        let elements = [0xdead_beefu64];
+        let syn = syndromes_of(&elements, 2);
+        let (c, l) = berlekamp_massey(&syn);
+        assert_eq!(l, 1);
+        assert_eq!(c.degree(), Some(1));
+        // Root of C is the inverse of the element.
+        assert!(c.eval(Gf64(0xdead_beef).inverse()).is_zero());
+        check_recurrence(&c, l, &syn);
+    }
+
+    #[test]
+    fn locator_roots_are_inverses_of_elements() {
+        let elements = [3u64, 71, 9_000, 123_456_789, 0xffff_0000_1111];
+        let syn = syndromes_of(&elements, 2 * elements.len());
+        let (c, l) = berlekamp_massey(&syn);
+        assert_eq!(l, elements.len());
+        for &e in &elements {
+            assert!(
+                c.eval(Gf64(e).inverse()).is_zero(),
+                "element {e} is not a root of the locator"
+            );
+        }
+        check_recurrence(&c, l, &syn);
+    }
+
+    #[test]
+    fn lfsr_length_matches_number_of_elements() {
+        for count in 1..=12usize {
+            let elements: Vec<u64> = (1..=count as u64).map(|i| i * 7 + 1).collect();
+            let syn = syndromes_of(&elements, 2 * count);
+            let (_, l) = berlekamp_massey(&syn);
+            assert_eq!(l, count, "wrong LFSR length for {count} elements");
+        }
+    }
+
+    #[test]
+    fn zero_syndromes_report_zero_length() {
+        let syn = vec![Gf64::ZERO; 16];
+        let (c, l) = berlekamp_massey(&syn);
+        assert_eq!(l, 0);
+        assert_eq!(c, Poly::one());
+    }
+}

@@ -1,0 +1,214 @@
+//! Arithmetic in GF(2^64).
+//!
+//! PinSketch (Dodis et al.; the minisketch library) represents set items as
+//! elements of a binary field and exchanges BCH syndromes — power sums of
+//! the items — so the whole baseline rests on field arithmetic. We implement
+//! GF(2^64) as polynomials over GF(2) modulo the irreducible pentanomial
+//! x⁶⁴ + x⁴ + x³ + x + 1, with shift-and-add (carry-less) multiplication.
+//! This is a portable, dependency-free implementation; it is slower than the
+//! CLMUL-accelerated minisketch, which we account for when reporting the
+//! computation-cost comparisons (DESIGN.md §4).
+
+/// Low 64 bits of the reduction polynomial x⁶⁴ + x⁴ + x³ + x + 1.
+const REDUCTION: u64 = 0x1b;
+
+/// An element of GF(2^64).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Gf64(pub u64);
+
+impl Gf64 {
+    /// The additive identity.
+    pub const ZERO: Gf64 = Gf64(0);
+    /// The multiplicative identity.
+    pub const ONE: Gf64 = Gf64(1);
+
+    /// True if this is the additive identity.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Addition (= subtraction = XOR).
+    #[inline]
+    pub fn add(self, other: Gf64) -> Gf64 {
+        Gf64(self.0 ^ other.0)
+    }
+
+    /// Multiplication modulo the reduction polynomial.
+    pub fn mul(self, other: Gf64) -> Gf64 {
+        let mut acc: u64 = 0;
+        let mut a = self.0;
+        let mut b = other.0;
+        while b != 0 {
+            if b & 1 != 0 {
+                acc ^= a;
+            }
+            b >>= 1;
+            let carry = a >> 63;
+            a <<= 1;
+            if carry != 0 {
+                a ^= REDUCTION;
+            }
+        }
+        Gf64(acc)
+    }
+
+    /// Squaring (a special case of multiplication, kept separate because the
+    /// decoder squares heavily when expanding syndromes and computing trace
+    /// polynomials).
+    #[inline]
+    pub fn square(self) -> Gf64 {
+        self.mul(self)
+    }
+
+    /// Exponentiation by squaring.
+    pub fn pow(self, mut exp: u64) -> Gf64 {
+        let mut base = self;
+        let mut acc = Gf64::ONE;
+        while exp != 0 {
+            if exp & 1 != 0 {
+                acc = acc.mul(base);
+            }
+            base = base.square();
+            exp >>= 1;
+        }
+        acc
+    }
+
+    /// Multiplicative inverse via Fermat's little theorem
+    /// (a^(2⁶⁴−2) = a⁻¹ for a ≠ 0). Panics on zero.
+    pub fn inverse(self) -> Gf64 {
+        assert!(!self.is_zero(), "zero has no multiplicative inverse");
+        // 2^64 - 2 = 0xFFFF_FFFF_FFFF_FFFE.
+        self.pow(u64::MAX - 1)
+    }
+
+    /// Division: `self / other`.
+    pub fn div(self, other: Gf64) -> Gf64 {
+        self.mul(other.inverse())
+    }
+
+    /// The field trace Tr(a) = a + a² + a⁴ + … + a^(2⁶³), which lands in
+    /// GF(2) ⊂ GF(2⁶⁴) (i.e. is 0 or 1). Used by the root-finding tests.
+    pub fn trace(self) -> Gf64 {
+        let mut acc = Gf64::ZERO;
+        let mut t = self;
+        for _ in 0..64 {
+            acc = acc.add(t);
+            t = t.square();
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn elems() -> Vec<Gf64> {
+        vec![
+            Gf64(1),
+            Gf64(2),
+            Gf64(3),
+            Gf64(0xdead_beef),
+            Gf64(u64::MAX),
+            Gf64(0x8000_0000_0000_0001),
+            Gf64(0x1234_5678_9abc_def0),
+        ]
+    }
+
+    #[test]
+    fn addition_is_xor_and_self_inverse() {
+        for &a in &elems() {
+            assert_eq!(a.add(a), Gf64::ZERO);
+            assert_eq!(a.add(Gf64::ZERO), a);
+        }
+    }
+
+    #[test]
+    fn one_is_multiplicative_identity() {
+        for &a in &elems() {
+            assert_eq!(a.mul(Gf64::ONE), a);
+            assert_eq!(Gf64::ONE.mul(a), a);
+            assert_eq!(a.mul(Gf64::ZERO), Gf64::ZERO);
+        }
+    }
+
+    #[test]
+    fn multiplication_is_commutative_and_associative() {
+        let es = elems();
+        for &a in &es {
+            for &b in &es {
+                assert_eq!(a.mul(b), b.mul(a));
+                for &c in &es {
+                    assert_eq!(a.mul(b).mul(c), a.mul(b.mul(c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multiplication_distributes_over_addition() {
+        let es = elems();
+        for &a in &es {
+            for &b in &es {
+                for &c in &es {
+                    assert_eq!(a.mul(b.add(c)), a.mul(b).add(a.mul(c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        for &a in &elems() {
+            if a.is_zero() {
+                continue;
+            }
+            assert_eq!(a.mul(a.inverse()), Gf64::ONE);
+            assert_eq!(a.div(a), Gf64::ONE);
+        }
+    }
+
+    #[test]
+    fn pow_matches_repeated_multiplication() {
+        let a = Gf64(0xabc);
+        let mut acc = Gf64::ONE;
+        for e in 0..10u64 {
+            assert_eq!(a.pow(e), acc);
+            acc = acc.mul(a);
+        }
+    }
+
+    #[test]
+    fn square_matches_mul_self() {
+        for &a in &elems() {
+            assert_eq!(a.square(), a.mul(a));
+        }
+    }
+
+    #[test]
+    fn frobenius_is_additive() {
+        // (a + b)² = a² + b² in characteristic 2.
+        let es = elems();
+        for &a in &es {
+            for &b in &es {
+                assert_eq!(a.add(b).square(), a.square().add(b.square()));
+            }
+        }
+    }
+
+    #[test]
+    fn trace_lands_in_gf2() {
+        for &a in &elems() {
+            let t = a.trace();
+            assert!(t == Gf64::ZERO || t == Gf64::ONE, "trace({a:?}) = {t:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no multiplicative inverse")]
+    fn zero_inverse_panics() {
+        let _ = Gf64::ZERO.inverse();
+    }
+}

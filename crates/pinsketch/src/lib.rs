@@ -1,0 +1,23 @@
+//! PinSketch: BCH-syndrome set reconciliation over GF(2^64) — the
+//! computation-heavy, communication-optimal baseline of the paper's
+//! evaluation (§2, §7).
+//!
+//! The crate is a from-scratch reimplementation of the algorithm family
+//! behind the minisketch library: [`Gf64`] field arithmetic, [`Poly`]
+//! polynomial arithmetic, Berlekamp–Massey locator synthesis, Berlekamp
+//! trace-algorithm root finding, and the public [`PinSketch`] type that ties
+//! them together.
+
+#![warn(missing_docs)]
+
+mod berlekamp_massey;
+mod gf64;
+mod poly;
+mod roots;
+mod sketch;
+
+pub use berlekamp_massey::berlekamp_massey;
+pub use gf64::Gf64;
+pub use poly::Poly;
+pub use roots::find_roots;
+pub use sketch::{PinSketch, PinSketchError};

@@ -1,0 +1,273 @@
+//! Polynomials over GF(2^64).
+//!
+//! The PinSketch decoder manipulates the error-locator polynomial produced
+//! by Berlekamp–Massey: it needs multiplication, remainder, GCD, evaluation,
+//! and squaring-mod-p (for the Berlekamp trace root-finding). Coefficients
+//! are stored in ascending degree order with no trailing zeros.
+
+use crate::gf64::Gf64;
+
+/// A polynomial with GF(2^64) coefficients, lowest degree first.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Poly {
+    coeffs: Vec<Gf64>,
+}
+
+impl Poly {
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        Poly { coeffs: Vec::new() }
+    }
+
+    /// The constant polynomial 1.
+    pub fn one() -> Self {
+        Poly {
+            coeffs: vec![Gf64::ONE],
+        }
+    }
+
+    /// Builds a polynomial from coefficients (lowest degree first); trailing
+    /// zeros are trimmed.
+    pub fn from_coeffs(coeffs: Vec<Gf64>) -> Self {
+        let mut p = Poly { coeffs };
+        p.trim();
+        p
+    }
+
+    /// The monomial `c·x^k`.
+    pub fn monomial(c: Gf64, k: usize) -> Self {
+        if c.is_zero() {
+            return Poly::zero();
+        }
+        let mut coeffs = vec![Gf64::ZERO; k + 1];
+        coeffs[k] = c;
+        Poly { coeffs }
+    }
+
+    fn trim(&mut self) {
+        while matches!(self.coeffs.last(), Some(c) if c.is_zero()) {
+            self.coeffs.pop();
+        }
+    }
+
+    /// True for the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// Degree; the zero polynomial reports `None`.
+    pub fn degree(&self) -> Option<usize> {
+        if self.coeffs.is_empty() {
+            None
+        } else {
+            Some(self.coeffs.len() - 1)
+        }
+    }
+
+    /// Coefficient of x^i (zero beyond the stored length).
+    pub fn coeff(&self, i: usize) -> Gf64 {
+        self.coeffs.get(i).copied().unwrap_or(Gf64::ZERO)
+    }
+
+    /// The raw coefficient slice.
+    pub fn coeffs(&self) -> &[Gf64] {
+        &self.coeffs
+    }
+
+    /// Leading coefficient (panics on the zero polynomial).
+    pub fn leading(&self) -> Gf64 {
+        *self.coeffs.last().expect("zero polynomial has no leading coefficient")
+    }
+
+    /// Addition (= subtraction in characteristic 2).
+    pub fn add(&self, other: &Poly) -> Poly {
+        let n = self.coeffs.len().max(other.coeffs.len());
+        let mut coeffs = Vec::with_capacity(n);
+        for i in 0..n {
+            coeffs.push(self.coeff(i).add(other.coeff(i)));
+        }
+        Poly::from_coeffs(coeffs)
+    }
+
+    /// Multiplication (schoolbook; degrees here are at most a few thousand).
+    pub fn mul(&self, other: &Poly) -> Poly {
+        if self.is_zero() || other.is_zero() {
+            return Poly::zero();
+        }
+        let mut coeffs = vec![Gf64::ZERO; self.coeffs.len() + other.coeffs.len() - 1];
+        for (i, &a) in self.coeffs.iter().enumerate() {
+            if a.is_zero() {
+                continue;
+            }
+            for (j, &b) in other.coeffs.iter().enumerate() {
+                coeffs[i + j] = coeffs[i + j].add(a.mul(b));
+            }
+        }
+        Poly::from_coeffs(coeffs)
+    }
+
+    /// Multiplies by a scalar.
+    pub fn scale(&self, s: Gf64) -> Poly {
+        Poly::from_coeffs(self.coeffs.iter().map(|c| c.mul(s)).collect())
+    }
+
+    /// Quotient and remainder of division by `divisor` (panics if the
+    /// divisor is zero).
+    pub fn div_rem(&self, divisor: &Poly) -> (Poly, Poly) {
+        assert!(!divisor.is_zero(), "division by the zero polynomial");
+        let ddeg = divisor.degree().unwrap();
+        if self.degree().map_or(true, |d| d < ddeg) {
+            return (Poly::zero(), self.clone());
+        }
+        let lead_inv = divisor.leading().inverse();
+        let mut rem = self.coeffs.clone();
+        let mut quot = vec![Gf64::ZERO; rem.len() - ddeg];
+        for i in (ddeg..rem.len()).rev() {
+            let c = rem[i];
+            if c.is_zero() {
+                continue;
+            }
+            let factor = c.mul(lead_inv);
+            quot[i - ddeg] = factor;
+            for (j, &dc) in divisor.coeffs.iter().enumerate() {
+                rem[i - ddeg + j] = rem[i - ddeg + j].add(factor.mul(dc));
+            }
+        }
+        (Poly::from_coeffs(quot), Poly::from_coeffs(rem))
+    }
+
+    /// Remainder of division by `modulus`.
+    pub fn rem(&self, modulus: &Poly) -> Poly {
+        self.div_rem(modulus).1
+    }
+
+    /// Greatest common divisor, returned monic.
+    pub fn gcd(&self, other: &Poly) -> Poly {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        while !b.is_zero() {
+            let r = a.rem(&b);
+            a = b;
+            b = r;
+        }
+        a.monic()
+    }
+
+    /// Normalizes to a monic polynomial (leading coefficient 1).
+    pub fn monic(&self) -> Poly {
+        if self.is_zero() {
+            return Poly::zero();
+        }
+        self.scale(self.leading().inverse())
+    }
+
+    /// Evaluates the polynomial at `x` (Horner's rule).
+    pub fn eval(&self, x: Gf64) -> Gf64 {
+        let mut acc = Gf64::ZERO;
+        for &c in self.coeffs.iter().rev() {
+            acc = acc.mul(x).add(c);
+        }
+        acc
+    }
+
+    /// Squares the polynomial modulo `modulus`. In characteristic 2,
+    /// (Σ aᵢ xⁱ)² = Σ aᵢ² x^{2i}, so squaring costs one field squaring per
+    /// coefficient before the reduction.
+    pub fn square_mod(&self, modulus: &Poly) -> Poly {
+        if self.is_zero() {
+            return Poly::zero();
+        }
+        let mut coeffs = vec![Gf64::ZERO; 2 * self.coeffs.len() - 1];
+        for (i, &a) in self.coeffs.iter().enumerate() {
+            coeffs[2 * i] = a.square();
+        }
+        Poly::from_coeffs(coeffs).rem(modulus)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(vals: &[u64]) -> Poly {
+        Poly::from_coeffs(vals.iter().map(|&v| Gf64(v)).collect())
+    }
+
+    #[test]
+    fn degree_and_trim() {
+        assert_eq!(p(&[]).degree(), None);
+        assert_eq!(p(&[5]).degree(), Some(0));
+        assert_eq!(p(&[1, 2, 3, 0, 0]).degree(), Some(2));
+        assert!(p(&[0, 0]).is_zero());
+    }
+
+    #[test]
+    fn add_is_self_inverse() {
+        let a = p(&[1, 2, 3]);
+        assert!(a.add(&a).is_zero());
+        assert_eq!(a.add(&Poly::zero()), a);
+    }
+
+    #[test]
+    fn mul_degree_and_identity() {
+        let a = p(&[1, 2, 3]);
+        let b = p(&[4, 5]);
+        assert_eq!(a.mul(&b).degree(), Some(3));
+        assert_eq!(a.mul(&Poly::one()), a);
+        assert!(a.mul(&Poly::zero()).is_zero());
+    }
+
+    #[test]
+    fn div_rem_reconstructs() {
+        let a = p(&[7, 3, 0, 9, 1, 4]);
+        let b = p(&[2, 0, 5]);
+        let (q, r) = a.div_rem(&b);
+        assert!(r.degree().map_or(true, |d| d < b.degree().unwrap()));
+        let back = q.mul(&b).add(&r);
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn gcd_of_products_contains_common_factor() {
+        // (x + a)(x + b) and (x + a)(x + c) share the factor (x + a).
+        let fa = p(&[11, 1]);
+        let fb = p(&[22, 1]);
+        let fc = p(&[33, 1]);
+        let left = fa.mul(&fb);
+        let right = fa.mul(&fc);
+        let g = left.gcd(&right);
+        assert_eq!(g, fa.monic());
+    }
+
+    #[test]
+    fn eval_matches_roots() {
+        // (x + 5)(x + 9) evaluates to zero at 5 and 9 (x + a has root a in
+        // characteristic 2).
+        let poly = p(&[5, 1]).mul(&p(&[9, 1]));
+        assert!(poly.eval(Gf64(5)).is_zero());
+        assert!(poly.eval(Gf64(9)).is_zero());
+        assert!(!poly.eval(Gf64(6)).is_zero());
+    }
+
+    #[test]
+    fn square_mod_matches_mul_mod() {
+        let a = p(&[3, 1, 4, 1, 5]);
+        let m = p(&[7, 0, 0, 1, 0, 0, 1]);
+        assert_eq!(a.square_mod(&m), a.mul(&a).rem(&m));
+    }
+
+    #[test]
+    fn monic_normalizes_leading_coefficient() {
+        let a = p(&[4, 6, 9]);
+        let m = a.monic();
+        assert_eq!(m.leading(), Gf64::ONE);
+        // Same roots: scaling does not change zeros.
+        assert_eq!(a.eval(Gf64(123)).is_zero(), m.eval(Gf64(123)).is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "division by the zero polynomial")]
+    fn division_by_zero_panics() {
+        let _ = p(&[1, 2]).div_rem(&Poly::zero());
+    }
+}

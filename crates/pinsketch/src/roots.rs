@@ -1,0 +1,161 @@
+//! Root finding over GF(2^64) via the Berlekamp trace algorithm.
+//!
+//! The error-locator polynomial of a PinSketch has one root per difference
+//! element (the element's inverse), so decoding must factor a degree-d
+//! polynomial over a 2⁶⁴-element field — exhaustive search is impossible.
+//! The trace algorithm splits the polynomial recursively: for a random β,
+//! gcd(p, Tr(βx) mod p) separates the roots whose trace is 0 from those
+//! whose trace is 1, and repeating with fresh β values isolates every root.
+
+use riblt_hash::splitmix64;
+
+use crate::gf64::Gf64;
+use crate::poly::Poly;
+
+/// Maximum β values tried per split before giving up (failure here indicates
+/// the polynomial does not split into distinct linear factors, i.e. the
+/// sketch capacity was exceeded).
+const MAX_SPLIT_ATTEMPTS: u64 = 96;
+
+/// Finds all roots of `poly`, requiring it to split into *distinct* linear
+/// factors. Returns `None` otherwise (the caller treats that as a decoding
+/// failure).
+pub fn find_roots(poly: &Poly) -> Option<Vec<Gf64>> {
+    match poly.degree() {
+        None => return None, // zero polynomial: every element is a root
+        Some(0) => return Some(Vec::new()),
+        _ => {}
+    }
+    let monic = poly.monic();
+    let expected = monic.degree().unwrap();
+    let mut roots = Vec::with_capacity(expected);
+    if !split(&monic, &mut roots, 0) {
+        return None;
+    }
+    if roots.len() != expected {
+        return None;
+    }
+    // Distinctness check (repeated roots indicate a malformed locator).
+    let mut sorted = roots.clone();
+    sorted.sort();
+    sorted.dedup();
+    if sorted.len() != roots.len() {
+        return None;
+    }
+    Some(roots)
+}
+
+/// Recursively splits `p` (monic, degree ≥ 1), appending roots.
+fn split(p: &Poly, roots: &mut Vec<Gf64>, salt: u64) -> bool {
+    let degree = match p.degree() {
+        None | Some(0) => return true,
+        Some(d) => d,
+    };
+    if degree == 1 {
+        // p = x + c (monic): the root is c.
+        roots.push(p.coeff(0));
+        return true;
+    }
+
+    for attempt in 0..MAX_SPLIT_ATTEMPTS {
+        let beta = Gf64(splitmix64(salt.wrapping_mul(0x9e37_79b9).wrapping_add(attempt + 1)));
+        if beta.is_zero() {
+            continue;
+        }
+        // T_β(x) = Σ_{i=0..63} (βx)^(2^i) mod p.
+        let base = Poly::monomial(beta, 1).rem(p);
+        let mut term = base.clone();
+        let mut acc = base;
+        for _ in 0..63 {
+            term = term.square_mod(p);
+            acc = acc.add(&term);
+        }
+        let g = p.gcd(&acc);
+        if let Some(gd) = g.degree() {
+            if gd > 0 && gd < degree {
+                let (q, r) = p.div_rem(&g);
+                debug_assert!(r.is_zero(), "gcd must divide p");
+                return split(&g, roots, salt.wrapping_add(attempt) ^ 0x5bd1)
+                    && split(&q.monic(), roots, salt.wrapping_add(attempt) ^ 0xa5a5);
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds Π (x + r) for the given roots.
+    fn poly_with_roots(roots: &[u64]) -> Poly {
+        let mut p = Poly::one();
+        for &r in roots {
+            p = p.mul(&Poly::from_coeffs(vec![Gf64(r), Gf64::ONE]));
+        }
+        p
+    }
+
+    #[test]
+    fn finds_roots_of_small_products() {
+        let roots = [5u64, 77, 1234, 0xdead_beef];
+        let p = poly_with_roots(&roots);
+        let mut found: Vec<u64> = find_roots(&p).unwrap().iter().map(|g| g.0).collect();
+        found.sort_unstable();
+        let mut expected = roots.to_vec();
+        expected.sort_unstable();
+        assert_eq!(found, expected);
+    }
+
+    #[test]
+    fn finds_roots_of_larger_products() {
+        let roots: Vec<u64> = (1..=40u64).map(|i| splitmix64(i)).collect();
+        let p = poly_with_roots(&roots);
+        let mut found: Vec<u64> = find_roots(&p).unwrap().iter().map(|g| g.0).collect();
+        found.sort_unstable();
+        let mut expected = roots.clone();
+        expected.sort_unstable();
+        assert_eq!(found, expected);
+    }
+
+    #[test]
+    fn degree_one_polynomial() {
+        let p = poly_with_roots(&[42]);
+        assert_eq!(find_roots(&p).unwrap(), vec![Gf64(42)]);
+    }
+
+    #[test]
+    fn constant_polynomial_has_no_roots() {
+        assert_eq!(find_roots(&Poly::one()).unwrap(), Vec::<Gf64>::new());
+    }
+
+    #[test]
+    fn irreducible_quadratic_reports_failure() {
+        // x² + x + c is irreducible over GF(2^64) whenever Tr(c) = 1, so it
+        // has no roots in the field and root finding must report failure.
+        // Small integer constants all happen to have trace 0 under this
+        // reduction polynomial, so scan pseudorandom field elements (half of
+        // the field has trace 1).
+        let c = (1u64..)
+            .map(|i| Gf64(splitmix64(i)))
+            .find(|c| c.trace() == Gf64::ONE)
+            .unwrap();
+        let p = Poly::from_coeffs(vec![c, Gf64::ONE, Gf64::ONE]);
+        assert!(find_roots(&p).is_none());
+    }
+
+    #[test]
+    fn repeated_roots_are_rejected() {
+        // (x + 9)² does not split into distinct factors.
+        let p = poly_with_roots(&[9, 9]);
+        assert!(find_roots(&p).is_none());
+    }
+
+    #[test]
+    fn non_monic_input_is_normalized() {
+        let p = poly_with_roots(&[3, 1000]).scale(Gf64(0xabcd));
+        let mut found: Vec<u64> = find_roots(&p).unwrap().iter().map(|g| g.0).collect();
+        found.sort_unstable();
+        assert_eq!(found, vec![3, 1000]);
+    }
+}

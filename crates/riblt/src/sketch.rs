@@ -1,0 +1,491 @@
+//! Fixed-size sketches and incrementally-maintained coded-symbol caches.
+//!
+//! [`Sketch`] is the first `m` coded symbols of the infinite sequence,
+//! materialized as a value: it can be built directly from a set, subtracted
+//! from another sketch (linearity, §4.1), and decoded standalone. This is the
+//! convenient API when the application wants to ship a single message, and
+//! it is what the Monte Carlo experiments use.
+//!
+//! [`SketchCache`] is the long-lived variant for a node that keeps a prefix
+//! of its own coded-symbol sequence around (the "Alice maintains a universal
+//! sequence" deployment of §2 and §7.3): it supports adding/removing set
+//! items *after* the prefix has been materialized — each update touches only
+//! the O(log m) coded symbols the item maps to — and extending the prefix on
+//! demand.
+
+use riblt_hash::SipKey;
+
+use crate::coded::{CodedSymbol, Direction, PeelState};
+use crate::decoder::SetDifference;
+use crate::encoder::CodingWindow;
+use crate::error::{Error, Result};
+use crate::mapping::{IndexMapping, DEFAULT_ALPHA};
+use crate::symbol::{HashedSymbol, Symbol};
+
+/// A materialized prefix of a set's coded-symbol sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sketch<S: Symbol> {
+    cells: Vec<CodedSymbol<S>>,
+    key: SipKey,
+    alpha: f64,
+}
+
+impl<S: Symbol> Sketch<S> {
+    /// Creates an empty sketch with `m` coded symbols (default key, α = 0.5).
+    pub fn new(m: usize) -> Self {
+        Self::with_key(m, SipKey::default())
+    }
+
+    /// Creates an empty sketch with `m` coded symbols under a secret key.
+    pub fn with_key(m: usize, key: SipKey) -> Self {
+        Self::with_key_and_alpha(m, key, DEFAULT_ALPHA)
+    }
+
+    /// Creates an empty sketch with an explicit mapping parameter α.
+    pub fn with_key_and_alpha(m: usize, key: SipKey, alpha: f64) -> Self {
+        Sketch {
+            cells: vec![CodedSymbol::default(); m],
+            key,
+            alpha,
+        }
+    }
+
+    /// Builds the sketch of a whole set in one call.
+    pub fn from_set<'a>(m: usize, items: impl IntoIterator<Item = &'a S>) -> Self
+    where
+        S: 'a,
+    {
+        let mut sketch = Self::new(m);
+        for item in items {
+            sketch.add_symbol(item);
+        }
+        sketch
+    }
+
+    /// Number of coded symbols.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True if the sketch has no coded symbols.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// The checksum key.
+    pub fn key(&self) -> SipKey {
+        self.key
+    }
+
+    /// The mapping parameter α.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Read-only access to the coded symbols.
+    pub fn cells(&self) -> &[CodedSymbol<S>] {
+        &self.cells
+    }
+
+    fn apply(&mut self, hashed: &HashedSymbol<S>, direction: Direction) {
+        let m = self.cells.len() as u64;
+        let mut mapping = IndexMapping::with_alpha(hashed.hash, self.alpha);
+        loop {
+            let idx = mapping.current_index();
+            if idx >= m {
+                break;
+            }
+            self.cells[idx as usize].apply(hashed, direction);
+            mapping.advance();
+        }
+    }
+
+    /// Mixes one set item into the sketch.
+    pub fn add_symbol(&mut self, symbol: &S) {
+        let hashed = HashedSymbol::new(symbol.clone(), self.key);
+        self.apply(&hashed, Direction::Add);
+    }
+
+    /// Removes one set item from the sketch (linearity makes removal the
+    /// exact inverse of addition).
+    pub fn remove_symbol(&mut self, symbol: &S) {
+        let hashed = HashedSymbol::new(symbol.clone(), self.key);
+        self.apply(&hashed, Direction::Remove);
+    }
+
+    /// Subtracts `other` cell-by-cell: the result is the sketch of the
+    /// symmetric difference of the two encoded sets (paper §3).
+    pub fn subtract(&mut self, other: &Sketch<S>) -> Result<()> {
+        if self.cells.len() != other.cells.len() {
+            return Err(Error::SketchShapeMismatch {
+                left: self.cells.len(),
+                right: other.cells.len(),
+            });
+        }
+        for (a, b) in self.cells.iter_mut().zip(other.cells.iter()) {
+            a.subtract(b);
+        }
+        Ok(())
+    }
+
+    /// Returns a new sketch equal to `self ⊖ other`.
+    pub fn subtracted(&self, other: &Sketch<S>) -> Result<Sketch<S>> {
+        let mut out = self.clone();
+        out.subtract(other)?;
+        Ok(out)
+    }
+
+    /// Attempts to decode the sketch with the peeling decoder.
+    ///
+    /// On a *difference* sketch (`a.subtracted(&b)`), success recovers the
+    /// symmetric difference, split by side. On a sketch of a plain set,
+    /// success recovers the whole set in `remote_only`.
+    ///
+    /// Returns [`Error::DecodeIncomplete`] if peeling stalls — the caller
+    /// should obtain a longer sketch (more coded symbols) and retry.
+    pub fn decode(&self) -> Result<SetDifference<S>> {
+        let mut cells = self.cells.clone();
+        let m = cells.len() as u64;
+        let mut queue: Vec<usize> = (0..cells.len())
+            .filter(|&i| {
+                matches!(
+                    cells[i].peel_state(self.key),
+                    PeelState::PureRemote | PeelState::PureLocal
+                )
+            })
+            .collect();
+        let mut diff = SetDifference::default();
+
+        while let Some(idx) = queue.pop() {
+            let state = cells[idx].peel_state(self.key);
+            let is_remote = match state {
+                PeelState::PureRemote => true,
+                PeelState::PureLocal => false,
+                _ => continue,
+            };
+            let symbol = cells[idx].sum.clone();
+            let hash = cells[idx].checksum;
+            let hashed = HashedSymbol::with_hash(symbol.clone(), hash);
+            let direction = if is_remote {
+                Direction::Remove
+            } else {
+                Direction::Add
+            };
+            let mut mapping = IndexMapping::with_alpha(hash, self.alpha);
+            loop {
+                let i = mapping.current_index();
+                if i >= m {
+                    break;
+                }
+                cells[i as usize].apply(&hashed, direction);
+                if matches!(
+                    cells[i as usize].peel_state(self.key),
+                    PeelState::PureRemote | PeelState::PureLocal
+                ) {
+                    queue.push(i as usize);
+                }
+                mapping.advance();
+            }
+            if is_remote {
+                diff.remote_only.push(symbol);
+            } else {
+                diff.local_only.push(symbol);
+            }
+        }
+
+        if cells.iter().all(|c| c.is_empty_cell()) {
+            Ok(diff)
+        } else {
+            Err(Error::DecodeIncomplete)
+        }
+    }
+}
+
+/// A long-lived, incrementally maintained prefix of a set's coded-symbol
+/// sequence.
+///
+/// Typical deployment (paper §7.3): a node keeps `SketchCache` for its whole
+/// state, patches it as the state changes (each change touches O(log m)
+/// cells), extends it when longer prefixes are needed, and streams
+/// `prefix(..)` to any peer that asks — the same cached symbols serve every
+/// peer because the sequence is universal.
+#[derive(Debug, Clone)]
+pub struct SketchCache<S: Symbol> {
+    cells: Vec<CodedSymbol<S>>,
+    /// Every symbol ever added, positioned past the materialized prefix so
+    /// the cache can extend.
+    additions: CodingWindow<S>,
+    /// Every symbol ever removed, likewise positioned for extension.
+    removals: CodingWindow<S>,
+    key: SipKey,
+    alpha: f64,
+}
+
+impl<S: Symbol> SketchCache<S> {
+    /// Creates an empty cache with no materialized coded symbols.
+    pub fn new() -> Self {
+        Self::with_key(SipKey::default())
+    }
+
+    /// Creates an empty cache with a secret checksum key.
+    pub fn with_key(key: SipKey) -> Self {
+        SketchCache {
+            cells: Vec::new(),
+            additions: CodingWindow::new(key, DEFAULT_ALPHA),
+            removals: CodingWindow::new(key, DEFAULT_ALPHA),
+            key,
+            alpha: DEFAULT_ALPHA,
+        }
+    }
+
+    /// Number of materialized coded symbols.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True if no coded symbols are materialized yet.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Net number of items currently in the cached set
+    /// (additions − removals).
+    pub fn set_size(&self) -> i64 {
+        self.additions.len() as i64 - self.removals.len() as i64
+    }
+
+    /// The checksum key.
+    pub fn key(&self) -> SipKey {
+        self.key
+    }
+
+    fn patch_prefix(&mut self, hashed: &HashedSymbol<S>, direction: Direction) -> IndexMapping {
+        let m = self.cells.len() as u64;
+        let mut mapping = IndexMapping::with_alpha(hashed.hash, self.alpha);
+        loop {
+            let idx = mapping.current_index();
+            if idx >= m {
+                break;
+            }
+            self.cells[idx as usize].apply(hashed, direction);
+            mapping.advance();
+        }
+        mapping
+    }
+
+    /// Adds an item to the cached set, patching the materialized prefix.
+    pub fn add_symbol(&mut self, symbol: S) {
+        let hashed = HashedSymbol::new(symbol, self.key);
+        let mapping = self.patch_prefix(&hashed, Direction::Add);
+        self.additions.push_with_mapping(hashed, mapping);
+    }
+
+    /// Removes an item from the cached set, patching the materialized
+    /// prefix. Removing an item that was never added corrupts the cache
+    /// (exactly as it would corrupt any linear sketch); the caller owns set
+    /// membership.
+    pub fn remove_symbol(&mut self, symbol: S) {
+        let hashed = HashedSymbol::new(symbol, self.key);
+        let mapping = self.patch_prefix(&hashed, Direction::Remove);
+        self.removals.push_with_mapping(hashed, mapping);
+    }
+
+    /// Extends the materialized prefix by `extra` coded symbols.
+    pub fn extend(&mut self, extra: usize) {
+        for _ in 0..extra {
+            let mut cs = CodedSymbol::default();
+            self.additions.apply_next(&mut cs, Direction::Add);
+            self.removals.apply_next(&mut cs, Direction::Remove);
+            self.cells.push(cs);
+        }
+    }
+
+    /// Ensures at least `m` coded symbols are materialized.
+    pub fn ensure_len(&mut self, m: usize) {
+        if m > self.cells.len() {
+            let extra = m - self.cells.len();
+            self.extend(extra);
+        }
+    }
+
+    /// The materialized coded symbols.
+    pub fn cells(&self) -> &[CodedSymbol<S>] {
+        &self.cells
+    }
+
+    /// Returns the first `m` coded symbols (materializing more if needed).
+    pub fn prefix(&mut self, m: usize) -> &[CodedSymbol<S>] {
+        self.ensure_len(m);
+        &self.cells[..m]
+    }
+
+    /// Copies the first `m` coded symbols into a standalone [`Sketch`].
+    pub fn to_sketch(&mut self, m: usize) -> Sketch<S> {
+        self.ensure_len(m);
+        Sketch {
+            cells: self.cells[..m].to_vec(),
+            key: self.key,
+            alpha: self.alpha,
+        }
+    }
+}
+
+impl<S: Symbol> Default for SketchCache<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::FixedBytes;
+    use std::collections::BTreeSet;
+
+    type Sym = FixedBytes<8>;
+
+    fn syms(range: std::ops::Range<u64>) -> Vec<Sym> {
+        range.map(Sym::from_u64).collect()
+    }
+
+    fn to_set(v: &[Sym]) -> BTreeSet<u64> {
+        v.iter().map(|s| s.to_u64()).collect()
+    }
+
+    #[test]
+    fn sketch_of_small_set_decodes_itself() {
+        let items = syms(0..20);
+        let sketch = Sketch::from_set(60, items.iter());
+        let diff = sketch.decode().unwrap();
+        assert_eq!(to_set(&diff.remote_only), (0..20).collect());
+        assert!(diff.local_only.is_empty());
+    }
+
+    #[test]
+    fn subtracted_sketches_decode_the_symmetric_difference() {
+        let alice = syms(0..1000);
+        let bob = syms(20..1020);
+        let m = 120;
+        let sa = Sketch::from_set(m, alice.iter());
+        let sb = Sketch::from_set(m, bob.iter());
+        let diff_sketch = sa.subtracted(&sb).unwrap();
+        let diff = diff_sketch.decode().unwrap();
+        assert_eq!(to_set(&diff.remote_only), (0..20).collect());
+        assert_eq!(to_set(&diff.local_only), (1000..1020).collect());
+    }
+
+    #[test]
+    fn undersized_sketch_reports_incomplete() {
+        let alice = syms(0..500);
+        let bob: Vec<Sym> = Vec::new();
+        // 500 differences cannot fit in 40 coded symbols.
+        let sa = Sketch::from_set(40, alice.iter());
+        let sb = Sketch::from_set(40, bob.iter());
+        let diff_sketch = sa.subtracted(&sb).unwrap();
+        assert_eq!(diff_sketch.decode().unwrap_err(), Error::DecodeIncomplete);
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let a = Sketch::<Sym>::new(10);
+        let b = Sketch::<Sym>::new(20);
+        assert!(matches!(
+            a.subtracted(&b),
+            Err(Error::SketchShapeMismatch { left: 10, right: 20 })
+        ));
+    }
+
+    #[test]
+    fn add_then_remove_is_identity() {
+        let mut s = Sketch::<Sym>::new(50);
+        let baseline = s.clone();
+        let x = Sym::from_u64(1234);
+        s.add_symbol(&x);
+        assert_ne!(s, baseline);
+        s.remove_symbol(&x);
+        assert_eq!(s, baseline);
+    }
+
+    #[test]
+    fn empty_difference_decodes_to_empty() {
+        let set = syms(0..300);
+        let m = 16;
+        let sa = Sketch::from_set(m, set.iter());
+        let sb = Sketch::from_set(m, set.iter());
+        let diff = sa.subtracted(&sb).unwrap().decode().unwrap();
+        assert!(diff.is_empty());
+    }
+
+    #[test]
+    fn cache_prefix_matches_fresh_sketch() {
+        // A cache built incrementally (adds + removes) must equal the sketch
+        // of the final set built from scratch — the linearity property the
+        // Ethereum application relies on.
+        let mut cache = SketchCache::<Sym>::new();
+        cache.ensure_len(80);
+        for i in 0..500u64 {
+            cache.add_symbol(Sym::from_u64(i));
+        }
+        // Mutate: remove 100..150, add 1000..1060.
+        for i in 100..150u64 {
+            cache.remove_symbol(Sym::from_u64(i));
+        }
+        for i in 1000..1060u64 {
+            cache.add_symbol(Sym::from_u64(i));
+        }
+        let final_set: Vec<Sym> = (0..100u64)
+            .chain(150..500)
+            .chain(1000..1060)
+            .map(Sym::from_u64)
+            .collect();
+        let fresh = Sketch::from_set(80, final_set.iter());
+        assert_eq!(cache.to_sketch(80), fresh);
+    }
+
+    #[test]
+    fn cache_extension_matches_fresh_sketch() {
+        // Extending after updates must produce the same coded symbols as a
+        // fresh encoding of the current set.
+        let mut cache = SketchCache::<Sym>::new();
+        for i in 0..200u64 {
+            cache.add_symbol(Sym::from_u64(i));
+        }
+        cache.ensure_len(32);
+        for i in 200..300u64 {
+            cache.add_symbol(Sym::from_u64(i));
+        }
+        cache.ensure_len(128);
+        let fresh = Sketch::from_set(128, syms(0..300).iter());
+        assert_eq!(cache.to_sketch(128), fresh);
+    }
+
+    #[test]
+    fn cache_serves_reconciliation_against_a_peer() {
+        let mut cache = SketchCache::<Sym>::new();
+        for i in 0..2_000u64 {
+            cache.add_symbol(Sym::from_u64(i));
+        }
+        // Peer holds a slightly different set.
+        let peer = syms(50..2_050);
+        let m = 400;
+        let alice_sketch = cache.to_sketch(m);
+        let peer_sketch = Sketch::from_set(m, peer.iter());
+        let diff = alice_sketch
+            .subtracted(&peer_sketch)
+            .unwrap()
+            .decode()
+            .unwrap();
+        assert_eq!(to_set(&diff.remote_only), (0..50).collect());
+        assert_eq!(to_set(&diff.local_only), (2000..2050).collect());
+    }
+
+    #[test]
+    fn set_size_tracks_adds_and_removes() {
+        let mut cache = SketchCache::<Sym>::new();
+        assert_eq!(cache.set_size(), 0);
+        cache.add_symbol(Sym::from_u64(1));
+        cache.add_symbol(Sym::from_u64(2));
+        cache.remove_symbol(Sym::from_u64(1));
+        assert_eq!(cache.set_size(), 1);
+    }
+}

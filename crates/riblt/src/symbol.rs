@@ -1,0 +1,280 @@
+//! Source-symbol abstraction.
+//!
+//! A *source symbol* is an item of the set being reconciled (paper §3): a bit
+//! string of some length ℓ. Coded symbols XOR source symbols together, so the
+//! only operations the library needs from a symbol type are a zero value,
+//! in-place XOR, and a byte view for checksum hashing.
+//!
+//! Two ready-made symbol types cover the common cases:
+//! [`FixedBytes`] for fixed-length items (e.g. 8-byte transaction IDs or
+//! 32-byte SHA-256 keys) and [`VecSymbol`] for longer, run-time-sized items
+//! (e.g. the 92-byte account records of the Ethereum experiment, or
+//! multi-kilobyte blobs in the item-size sweep of Fig. 11).
+
+use riblt_hash::{siphash24, SipKey};
+
+/// A set item that can participate in coded symbols.
+///
+/// Requirements (mirroring the paper's model):
+/// * `Default::default()` is the identity element: `x ⊕ default = x`.
+/// * XOR is commutative, associative, and self-inverse (`x ⊕ x = default`).
+/// * [`Symbol::as_bytes`] exposes a canonical byte representation used for
+///   the keyed checksum; two equal symbols must expose equal bytes.
+///
+/// For variable-length symbol types, XOR-ing symbols of different non-zero
+/// lengths is a logic error in the caller; implementations may panic.
+pub trait Symbol: Clone + PartialEq + Default {
+    /// XORs `other` into `self`.
+    fn xor_in_place(&mut self, other: &Self);
+
+    /// Canonical byte view used for checksum hashing.
+    fn as_bytes(&self) -> &[u8];
+
+    /// Reconstructs a symbol from its canonical byte view (inverse of
+    /// [`Symbol::as_bytes`]); used by the wire codec.
+    ///
+    /// Implementations may panic if `bytes` has the wrong length for the
+    /// symbol type.
+    fn from_bytes(bytes: &[u8]) -> Self;
+
+    /// Returns true if this symbol equals the identity element.
+    fn is_zero(&self) -> bool {
+        self.as_bytes().iter().all(|&b| b == 0)
+    }
+
+    /// Computes the keyed 64-bit checksum hash of this symbol (paper §4.3).
+    fn hash_with(&self, key: SipKey) -> u64 {
+        siphash24(key, self.as_bytes())
+    }
+}
+
+/// A fixed-length symbol of `N` bytes.
+///
+/// This is the work-horse type: `FixedBytes<8>` for the computation-cost
+/// experiments (§7.2), `FixedBytes<32>` for the communication-cost
+/// experiments (§7.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FixedBytes<const N: usize>(pub [u8; N]);
+
+impl<const N: usize> FixedBytes<N> {
+    /// The all-zero symbol.
+    pub const ZERO: FixedBytes<N> = FixedBytes([0u8; N]);
+
+    /// Builds a symbol from a `u64` by little-endian encoding into the first
+    /// 8 bytes (or fewer if `N < 8`). Handy for synthetic workloads.
+    pub fn from_u64(value: u64) -> Self {
+        let mut bytes = [0u8; N];
+        let src = value.to_le_bytes();
+        let n = N.min(8);
+        bytes[..n].copy_from_slice(&src[..n]);
+        FixedBytes(bytes)
+    }
+
+    /// Reads back the `u64` stored by [`Self::from_u64`].
+    pub fn to_u64(&self) -> u64 {
+        let mut src = [0u8; 8];
+        let n = N.min(8);
+        src[..n].copy_from_slice(&self.0[..n]);
+        u64::from_le_bytes(src)
+    }
+}
+
+impl<const N: usize> Default for FixedBytes<N> {
+    fn default() -> Self {
+        Self::ZERO
+    }
+}
+
+impl<const N: usize> Symbol for FixedBytes<N> {
+    fn xor_in_place(&mut self, other: &Self) {
+        for (a, b) in self.0.iter_mut().zip(other.0.iter()) {
+            *a ^= *b;
+        }
+    }
+
+    fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    fn from_bytes(bytes: &[u8]) -> Self {
+        assert_eq!(bytes.len(), N, "FixedBytes<{N}> from {} bytes", bytes.len());
+        let mut out = [0u8; N];
+        out.copy_from_slice(bytes);
+        FixedBytes(out)
+    }
+}
+
+impl<const N: usize> From<[u8; N]> for FixedBytes<N> {
+    fn from(bytes: [u8; N]) -> Self {
+        FixedBytes(bytes)
+    }
+}
+
+/// A variable-length symbol backed by a `Vec<u8>`.
+///
+/// All symbols mixed into the same sketch must have the same length; this is
+/// the set-reconciliation model of the paper (items of common length ℓ).
+/// Applications with genuinely variable-length items reconcile fixed-length
+/// *keys* (hashes) and fetch payloads afterwards, exactly like the Ethereum
+/// application in §7.3 reconciles key/value pairs of fixed width.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct VecSymbol(pub Vec<u8>);
+
+impl VecSymbol {
+    /// Creates a symbol from raw bytes.
+    pub fn new(bytes: Vec<u8>) -> Self {
+        VecSymbol(bytes)
+    }
+
+    /// Creates an all-zero symbol of length `len`.
+    pub fn zero(len: usize) -> Self {
+        VecSymbol(vec![0u8; len])
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the symbol has zero length.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl Symbol for VecSymbol {
+    fn xor_in_place(&mut self, other: &Self) {
+        if self.0.is_empty() && !other.0.is_empty() {
+            // The identity element (`VecSymbol::default()`) carries no width;
+            // adopt the width of the first real symbol XOR-ed into it.
+            self.0 = vec![0u8; other.0.len()];
+        }
+        if other.0.is_empty() {
+            return;
+        }
+        assert_eq!(
+            self.0.len(),
+            other.0.len(),
+            "VecSymbol XOR requires equal lengths ({} vs {})",
+            self.0.len(),
+            other.0.len()
+        );
+        for (a, b) in self.0.iter_mut().zip(other.0.iter()) {
+            *a ^= *b;
+        }
+    }
+
+    fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    fn from_bytes(bytes: &[u8]) -> Self {
+        VecSymbol(bytes.to_vec())
+    }
+}
+
+/// A source symbol paired with its (keyed) checksum hash.
+///
+/// The hash doubles as the seed of the symbol's index-mapping PRNG, so it is
+/// computed once when the symbol enters an encoder/decoder and carried along.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HashedSymbol<S: Symbol> {
+    /// The source symbol itself.
+    pub symbol: S,
+    /// Keyed 64-bit checksum hash of the symbol.
+    pub hash: u64,
+}
+
+impl<S: Symbol> HashedSymbol<S> {
+    /// Hashes `symbol` under `key` and pairs the two.
+    pub fn new(symbol: S, key: SipKey) -> Self {
+        let hash = symbol.hash_with(key);
+        HashedSymbol { symbol, hash }
+    }
+
+    /// Pairs a symbol with a precomputed hash (e.g. when the application
+    /// already stores item hashes).
+    pub fn with_hash(symbol: S, hash: u64) -> Self {
+        HashedSymbol { symbol, hash }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_bytes_xor_roundtrip() {
+        let a = FixedBytes::<8>::from_u64(0x1122_3344_5566_7788);
+        let b = FixedBytes::<8>::from_u64(0x0102_0304_0506_0708);
+        let mut c = a;
+        c.xor_in_place(&b);
+        c.xor_in_place(&b);
+        assert_eq!(c, a);
+        let mut d = a;
+        d.xor_in_place(&a);
+        assert!(d.is_zero());
+    }
+
+    #[test]
+    fn fixed_bytes_u64_roundtrip() {
+        for v in [0u64, 1, 0xdead_beef, u64::MAX] {
+            assert_eq!(FixedBytes::<8>::from_u64(v).to_u64(), v);
+        }
+        // Narrow symbols truncate.
+        assert_eq!(FixedBytes::<4>::from_u64(0x1_0000_0001).to_u64(), 1);
+    }
+
+    #[test]
+    fn vec_symbol_xor_and_zero() {
+        let a = VecSymbol::new(vec![1, 2, 3, 4]);
+        let mut z = VecSymbol::default();
+        assert!(z.is_zero());
+        z.xor_in_place(&a);
+        assert_eq!(z, a, "identity adopts the width of the first symbol");
+        let mut c = a.clone();
+        c.xor_in_place(&a);
+        assert!(c.is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn vec_symbol_length_mismatch_panics() {
+        let mut a = VecSymbol::new(vec![1, 2, 3]);
+        let b = VecSymbol::new(vec![1, 2]);
+        a.xor_in_place(&b);
+    }
+
+    #[test]
+    fn hashes_depend_on_key_and_content() {
+        let a = FixedBytes::<8>::from_u64(7);
+        let b = FixedBytes::<8>::from_u64(8);
+        let k1 = SipKey::new(1, 2);
+        let k2 = SipKey::new(3, 4);
+        assert_ne!(a.hash_with(k1), b.hash_with(k1));
+        assert_ne!(a.hash_with(k1), a.hash_with(k2));
+        assert_eq!(a.hash_with(k1), HashedSymbol::new(a, k1).hash);
+    }
+
+    #[test]
+    fn xor_is_commutative_and_associative() {
+        let xs: Vec<FixedBytes<16>> = (1u64..=5)
+            .map(|i| {
+                let mut b = [0u8; 16];
+                b[..8].copy_from_slice(&i.to_le_bytes());
+                b[8..].copy_from_slice(&(i * 1000).to_le_bytes());
+                FixedBytes(b)
+            })
+            .collect();
+        // Fold in two different orders.
+        let mut forward = FixedBytes::<16>::ZERO;
+        for x in &xs {
+            forward.xor_in_place(x);
+        }
+        let mut backward = FixedBytes::<16>::ZERO;
+        for x in xs.iter().rev() {
+            backward.xor_in_place(x);
+        }
+        assert_eq!(forward, backward);
+    }
+}

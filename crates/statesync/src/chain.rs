@@ -1,0 +1,192 @@
+//! Block stream: how the ledger evolves over time.
+//!
+//! The staleness experiments (Figs. 12–14) load two snapshots of the ledger
+//! taken some number of blocks apart. [`Chain`] produces that pair
+//! deterministically: a genesis ledger plus a sequence of per-block updates
+//! with a configurable churn rate (accounts modified / created per block),
+//! calibrated so the item difference grows linearly with staleness like the
+//! paper's Ethereum trace.
+
+use riblt_hash::SplitMix64;
+
+use crate::ledger::{synth_account, synth_address, Ledger};
+
+/// Churn parameters of the synthetic chain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChainConfig {
+    /// Number of accounts in the genesis ledger.
+    pub genesis_accounts: u64,
+    /// Existing accounts modified per block.
+    pub modified_per_block: u64,
+    /// Brand-new accounts created per block.
+    pub created_per_block: u64,
+    /// Seconds between blocks (Ethereum: 12 s).
+    pub block_interval_s: f64,
+    /// Seed for the churn pattern.
+    pub seed: u64,
+}
+
+impl ChainConfig {
+    /// A laptop-scale stand-in for the paper's trace: the *relative* shapes
+    /// (linear growth of difference with staleness, trie-depth
+    /// amplification) are preserved at this scale; see DESIGN.md §4.
+    pub fn laptop_scale() -> Self {
+        ChainConfig {
+            genesis_accounts: 200_000,
+            modified_per_block: 220,
+            created_per_block: 12,
+            block_interval_s: 12.0,
+            seed: 0x5eed_cafe,
+        }
+    }
+
+    /// A small configuration for unit tests.
+    pub fn test_scale() -> Self {
+        ChainConfig {
+            genesis_accounts: 5_000,
+            modified_per_block: 40,
+            created_per_block: 4,
+            block_interval_s: 12.0,
+            seed: 7,
+        }
+    }
+}
+
+/// One block's worth of state changes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockUpdate {
+    /// (account index, new version) pairs for modified accounts.
+    pub modified: Vec<(u64, u64)>,
+    /// Indices of newly created accounts.
+    pub created: Vec<u64>,
+}
+
+/// A deterministic chain of block updates over a genesis ledger.
+#[derive(Debug, Clone)]
+pub struct Chain {
+    config: ChainConfig,
+    updates: Vec<BlockUpdate>,
+    /// Next index for newly created accounts.
+    next_new_account: u64,
+}
+
+impl Chain {
+    /// Creates a chain with `num_blocks` pre-generated block updates.
+    pub fn generate(config: ChainConfig, num_blocks: usize) -> Self {
+        let mut rng = SplitMix64::new(config.seed);
+        let mut next_new_account = config.genesis_accounts;
+        let mut updates = Vec::with_capacity(num_blocks);
+        for block in 0..num_blocks as u64 {
+            let mut modified = Vec::with_capacity(config.modified_per_block as usize);
+            for _ in 0..config.modified_per_block {
+                let idx = rng.next_below(next_new_account);
+                modified.push((idx, block + 1));
+            }
+            let mut created = Vec::with_capacity(config.created_per_block as usize);
+            for _ in 0..config.created_per_block {
+                created.push(next_new_account);
+                next_new_account += 1;
+            }
+            updates.push(BlockUpdate { modified, created });
+        }
+        Chain {
+            config,
+            updates,
+            next_new_account,
+        }
+    }
+
+    /// The chain configuration.
+    pub fn config(&self) -> ChainConfig {
+        self.config
+    }
+
+    /// Number of generated blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.updates.len()
+    }
+
+    /// The block updates.
+    pub fn updates(&self) -> &[BlockUpdate] {
+        &self.updates
+    }
+
+    /// Total number of accounts after all blocks.
+    pub fn final_account_count(&self) -> u64 {
+        self.next_new_account
+    }
+
+    /// Materializes the ledger as of `block` blocks applied (0 = genesis).
+    pub fn snapshot_at(&self, block: usize) -> Ledger {
+        assert!(block <= self.updates.len(), "snapshot beyond generated chain");
+        let mut ledger = Ledger::genesis(self.config.genesis_accounts);
+        for update in &self.updates[..block] {
+            for &(idx, version) in &update.modified {
+                ledger.put(synth_address(idx), synth_account(idx, version));
+            }
+            for &idx in &update.created {
+                ledger.put(synth_address(idx), synth_account(idx, 0));
+            }
+        }
+        ledger
+    }
+
+    /// Converts a staleness duration to a number of blocks.
+    pub fn blocks_for_staleness(&self, staleness_s: f64) -> usize {
+        (staleness_s / self.config.block_interval_s).round() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshots_are_deterministic() {
+        let chain = Chain::generate(ChainConfig::test_scale(), 20);
+        assert_eq!(chain.snapshot_at(10), chain.snapshot_at(10));
+        assert_ne!(
+            chain.snapshot_at(10).to_trie().root(),
+            chain.snapshot_at(11).to_trie().root()
+        );
+    }
+
+    #[test]
+    fn difference_grows_roughly_linearly_with_staleness() {
+        let chain = Chain::generate(ChainConfig::test_scale(), 40);
+        let latest = chain.snapshot_at(40);
+        let d10 = latest.item_difference(&chain.snapshot_at(30));
+        let d20 = latest.item_difference(&chain.snapshot_at(20));
+        let d40 = latest.item_difference(&chain.snapshot_at(0));
+        assert!(d10 > 0);
+        assert!(d20 as f64 > 1.5 * d10 as f64, "d20={d20} d10={d10}");
+        assert!(d40 as f64 > 1.5 * d20 as f64, "d40={d40} d20={d20}");
+    }
+
+    #[test]
+    fn created_accounts_grow_the_ledger() {
+        let cfg = ChainConfig::test_scale();
+        let chain = Chain::generate(cfg, 25);
+        let latest = chain.snapshot_at(25);
+        assert_eq!(
+            latest.len() as u64,
+            cfg.genesis_accounts + 25 * cfg.created_per_block
+        );
+        assert_eq!(chain.final_account_count(), latest.len() as u64);
+    }
+
+    #[test]
+    fn staleness_to_blocks_conversion() {
+        let chain = Chain::generate(ChainConfig::test_scale(), 10);
+        assert_eq!(chain.blocks_for_staleness(120.0), 10);
+        assert_eq!(chain.blocks_for_staleness(0.0), 0);
+        assert_eq!(chain.blocks_for_staleness(60.0), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond generated chain")]
+    fn snapshot_beyond_chain_panics() {
+        let chain = Chain::generate(ChainConfig::test_scale(), 5);
+        let _ = chain.snapshot_at(6);
+    }
+}

@@ -1,0 +1,182 @@
+//! Ledger synchronization with Merkle-trie state heal over the simulated
+//! link — the production baseline of §7.3.
+//!
+//! Each round the stale replica requests a batch of trie nodes by hash, the
+//! serving replica returns them, and the stale replica descends one level
+//! deeper into every differing subtree. The protocol therefore pays at least
+//! one round trip per trie level, transfers every internal node on the path
+//! to each differing leaf, and spends per-node CPU/storage time on both
+//! sides — the three amplification factors the paper identifies.
+
+use std::time::Instant;
+
+use merkle_trie::{serve_node_request, HealClient, MerkleTrie};
+use netsim::{LinkConfig, LinkDirection, SimLink};
+
+use crate::ledger::Ledger;
+use crate::metrics::SyncOutcome;
+
+/// Configuration of a state-heal synchronization run.
+#[derive(Debug, Clone, Copy)]
+pub struct HealSyncConfig {
+    /// Maximum trie nodes requested per round (Geth uses a few hundred).
+    pub batch_nodes: usize,
+    /// Link parameters.
+    pub link: LinkConfig,
+    /// Extra per-node handling cost in seconds charged to each side, which
+    /// stands in for the database reads/writes and proof verification a real
+    /// client performs (calibrated constant; see EXPERIMENTS.md).
+    pub per_node_overhead_s: f64,
+}
+
+impl Default for HealSyncConfig {
+    fn default() -> Self {
+        HealSyncConfig {
+            batch_nodes: 384,
+            link: LinkConfig::paper_default(),
+            per_node_overhead_s: 40e-6,
+        }
+    }
+}
+
+/// Synchronizes `stale` to `latest` by healing the stale replica's trie.
+/// Returns the healed trie and the measured outcome.
+pub fn sync_with_heal(
+    latest: &Ledger,
+    stale: &Ledger,
+    config: HealSyncConfig,
+) -> (MerkleTrie, SyncOutcome) {
+    // Untimed setup: both replicas already hold their own tries on disk.
+    let server_trie = latest.to_trie();
+    let stale_trie = stale.to_trie();
+
+    let mut link = SimLink::new(config.link);
+    let mut client = HealClient::new(stale_trie, server_trie.root(), config.batch_nodes);
+
+    let mut clock = 0.0f64; // the stale replica's (client's) clock
+    let mut client_cpu = 0.0f64;
+    let mut server_cpu = 0.0f64;
+    let mut rounds = 0usize;
+
+    while let Some(request) = {
+        let t = Instant::now();
+        let r = client.next_request();
+        let dt = t.elapsed().as_secs_f64();
+        client_cpu += dt;
+        clock += dt;
+        r
+    } {
+        rounds += 1;
+        let request_bytes = request.len() * 32 + 16;
+        let arrival_at_server = link.send(LinkDirection::ClientToServer, clock, request_bytes);
+
+        // Server: look the nodes up and serialize the response.
+        let t = Instant::now();
+        let response = serve_node_request(&server_trie, &request);
+        let mut serve_s = t.elapsed().as_secs_f64();
+        serve_s += config.per_node_overhead_s * request.len() as f64;
+        server_cpu += serve_s;
+        let response_bytes: usize = response.iter().map(|n| n.len() + 8).sum::<usize>() + 16;
+        let arrival_at_client = link.send(
+            LinkDirection::ServerToClient,
+            arrival_at_server + serve_s,
+            response_bytes,
+        );
+
+        // Client: verify, store and expand the received nodes.
+        let t = Instant::now();
+        client.handle_response(&response);
+        let mut handle_s = t.elapsed().as_secs_f64();
+        handle_s += config.per_node_overhead_s * response.len() as f64;
+        client_cpu += handle_s;
+        clock = clock.max(arrival_at_client) + handle_s;
+    }
+
+    let (healed, stats) = client.finish();
+    debug_assert_eq!(healed.root(), server_trie.root());
+
+    let outcome = SyncOutcome {
+        completion_time_s: clock,
+        bytes_downstream: stats.response_bytes + rounds * 16,
+        bytes_upstream: stats.request_bytes,
+        rounds,
+        units_transferred: stats.nodes_requested,
+        accounts_updated: stats.leaves_written,
+        downstream_series: link.downstream_series().clone(),
+        client_cpu_s: client_cpu,
+        server_cpu_s: server_cpu,
+    };
+    (healed, outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::{Chain, ChainConfig};
+    use crate::riblt_sync::{sync_with_riblt, RibltSyncConfig};
+
+    #[test]
+    fn heal_converges_to_latest_root() {
+        let chain = Chain::generate(ChainConfig::test_scale(), 10);
+        let latest = chain.snapshot_at(10);
+        let stale = chain.snapshot_at(5);
+        let (healed, outcome) = sync_with_heal(&latest, &stale, HealSyncConfig::default());
+        assert_eq!(healed.root(), latest.to_trie().root());
+        assert!(outcome.rounds >= 2, "lock-step descent needs several rounds");
+        assert!(outcome.accounts_updated > 0);
+    }
+
+    #[test]
+    fn identical_ledgers_need_no_transfer() {
+        let ledger = Ledger::genesis(3_000);
+        let (_, outcome) = sync_with_heal(&ledger, &ledger, HealSyncConfig::default());
+        assert_eq!(outcome.units_transferred, 0);
+        assert_eq!(outcome.accounts_updated, 0);
+    }
+
+    #[test]
+    fn heal_transfers_more_bytes_and_takes_longer_than_riblt() {
+        // The headline comparison of §7.3, at unit-test scale.
+        let chain = Chain::generate(ChainConfig::test_scale(), 20);
+        let latest = chain.snapshot_at(20);
+        let stale = chain.snapshot_at(10);
+        let (_, heal) = sync_with_heal(&latest, &stale, HealSyncConfig::default());
+        let (_, riblt) = sync_with_riblt(&latest, &stale, RibltSyncConfig::default());
+        assert!(
+            heal.total_bytes() > riblt.total_bytes(),
+            "heal {} bytes vs riblt {} bytes",
+            heal.total_bytes(),
+            riblt.total_bytes()
+        );
+        assert!(
+            heal.completion_time_s > riblt.completion_time_s,
+            "heal {:.3}s vs riblt {:.3}s",
+            heal.completion_time_s,
+            riblt.completion_time_s
+        );
+        assert!(heal.rounds > riblt.rounds);
+    }
+
+    #[test]
+    fn more_bandwidth_eventually_stops_helping_heal() {
+        // State heal is round-trip- and compute-bound; cranking bandwidth
+        // from 20 to 1000 Mbps barely moves its completion time.
+        let chain = Chain::generate(ChainConfig::test_scale(), 20);
+        let latest = chain.snapshot_at(20);
+        let stale = chain.snapshot_at(0);
+        let base = HealSyncConfig::default();
+        let fast = HealSyncConfig {
+            link: LinkConfig::with_mbps(1_000.0),
+            ..base
+        };
+        let (_, slow_out) = sync_with_heal(&latest, &stale, base);
+        let (_, fast_out) = sync_with_heal(&latest, &stale, fast);
+        assert!(fast_out.completion_time_s <= slow_out.completion_time_s);
+        assert!(
+            fast_out.completion_time_s > 0.3 * slow_out.completion_time_s,
+            "50x more bandwidth should not cut heal time proportionally: {:.3} vs {:.3}",
+            fast_out.completion_time_s,
+            slow_out.completion_time_s
+        );
+    }
+}

@@ -1,0 +1,235 @@
+//! Synthetic blockchain ledger state.
+//!
+//! The paper's application experiment (§7.3) synchronizes the Ethereum
+//! account state: a key-value table with 20-byte wallet addresses and
+//! 72-byte account records. We do not ship mainnet snapshots, so this module
+//! generates a synthetic ledger with the same key/value geometry and
+//! deterministic pseudorandom contents (DESIGN.md §4, substitution 1). A
+//! ledger can be viewed both as a *set of key-value items* (what Rateless
+//! IBLT reconciles) and as a *Merkle Patricia trie* (what state heal walks).
+
+use std::collections::BTreeMap;
+
+use merkle_trie::MerkleTrie;
+use riblt::FixedBytes;
+use riblt_hash::SplitMix64;
+
+/// Length of an account address in bytes (Ethereum wallet address).
+pub const ADDRESS_LEN: usize = 20;
+/// Length of an account record in bytes (nonce, balance, code hash, storage
+/// root — the paper quotes 72 bytes).
+pub const ACCOUNT_LEN: usize = 72;
+/// Length of one reconciliation item: the full key-value pair.
+pub const ITEM_LEN: usize = ADDRESS_LEN + ACCOUNT_LEN;
+
+/// A 20-byte account address.
+pub type Address = [u8; ADDRESS_LEN];
+/// A 72-byte account record.
+pub type AccountState = [u8; ACCOUNT_LEN];
+/// The symbol type used when reconciling ledgers with Rateless IBLT: the
+/// concatenation `address ‖ account state`.
+pub type LedgerItem = FixedBytes<ITEM_LEN>;
+
+/// Builds the reconciliation item for one account.
+pub fn ledger_item(address: &Address, state: &AccountState) -> LedgerItem {
+    let mut bytes = [0u8; ITEM_LEN];
+    bytes[..ADDRESS_LEN].copy_from_slice(address);
+    bytes[ADDRESS_LEN..].copy_from_slice(state);
+    FixedBytes(bytes)
+}
+
+/// Splits a reconciliation item back into address and account state.
+pub fn split_item(item: &LedgerItem) -> (Address, AccountState) {
+    let mut address = [0u8; ADDRESS_LEN];
+    let mut state = [0u8; ACCOUNT_LEN];
+    address.copy_from_slice(&item.0[..ADDRESS_LEN]);
+    state.copy_from_slice(&item.0[ADDRESS_LEN..]);
+    (address, state)
+}
+
+/// Deterministically generates the address of the `index`-th account.
+pub fn synth_address(index: u64) -> Address {
+    let mut g = SplitMix64::new(index.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0xadd2_e55);
+    let mut a = [0u8; ADDRESS_LEN];
+    g.fill_bytes(&mut a);
+    a
+}
+
+/// Deterministically generates the account state of account `index` at
+/// `version` (version 0 = genesis; bumping the version models the account
+/// being modified by a block).
+pub fn synth_account(index: u64, version: u64) -> AccountState {
+    let mut g = SplitMix64::new(index ^ version.rotate_left(32) ^ 0xacc0_0171);
+    let mut s = [0u8; ACCOUNT_LEN];
+    g.fill_bytes(&mut s);
+    s
+}
+
+/// An in-memory ledger: the full account table of one replica.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Ledger {
+    accounts: BTreeMap<Address, AccountState>,
+}
+
+impl Ledger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Generates the genesis ledger with `n` synthetic accounts.
+    pub fn genesis(n: u64) -> Self {
+        let mut ledger = Ledger::new();
+        for i in 0..n {
+            ledger.put(synth_address(i), synth_account(i, 0));
+        }
+        ledger
+    }
+
+    /// Number of accounts.
+    pub fn len(&self) -> usize {
+        self.accounts.len()
+    }
+
+    /// True if the ledger holds no accounts.
+    pub fn is_empty(&self) -> bool {
+        self.accounts.is_empty()
+    }
+
+    /// Inserts or overwrites an account. Returns the previous state, if any.
+    pub fn put(&mut self, address: Address, state: AccountState) -> Option<AccountState> {
+        self.accounts.insert(address, state)
+    }
+
+    /// Reads an account.
+    pub fn get(&self, address: &Address) -> Option<&AccountState> {
+        self.accounts.get(address)
+    }
+
+    /// Iterates over all accounts in address order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Address, &AccountState)> {
+        self.accounts.iter()
+    }
+
+    /// The ledger as a set of reconciliation items (key-value pairs).
+    pub fn items(&self) -> Vec<LedgerItem> {
+        self.accounts
+            .iter()
+            .map(|(a, s)| ledger_item(a, s))
+            .collect()
+    }
+
+    /// Builds the Merkle Patricia trie of the ledger.
+    pub fn to_trie(&self) -> MerkleTrie {
+        let mut trie = MerkleTrie::new();
+        for (address, state) in &self.accounts {
+            trie.insert(address, state.to_vec());
+        }
+        trie
+    }
+
+    /// Size of the symmetric difference between the item sets of two
+    /// ledgers (each modified account contributes two items: its old and new
+    /// key-value pair).
+    pub fn item_difference(&self, other: &Ledger) -> usize {
+        let mut diff = 0;
+        for (a, s) in &self.accounts {
+            match other.accounts.get(a) {
+                Some(os) if os == s => {}
+                _ => diff += 1,
+            }
+        }
+        for (a, s) in &other.accounts {
+            match self.accounts.get(a) {
+                Some(os) if os == s => {}
+                _ => diff += 1,
+            }
+        }
+        diff
+    }
+
+    /// Applies a set of recovered remote items (key-value pairs from the
+    /// up-to-date peer) to this ledger, overwriting local versions.
+    pub fn apply_items(&mut self, items: &[LedgerItem]) {
+        for item in items {
+            let (address, state) = split_item(item);
+            self.put(address, state);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn genesis_is_deterministic() {
+        let a = Ledger::genesis(500);
+        let b = Ledger::genesis(500);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 500);
+    }
+
+    #[test]
+    fn item_roundtrip() {
+        let addr = synth_address(42);
+        let state = synth_account(42, 3);
+        let item = ledger_item(&addr, &state);
+        let (a2, s2) = split_item(&item);
+        assert_eq!(a2, addr);
+        assert_eq!(s2, state);
+    }
+
+    #[test]
+    fn item_difference_counts_old_and_new_versions() {
+        let mut a = Ledger::genesis(100);
+        let b = a.clone();
+        // Modify 5 accounts in `a`.
+        for i in 0..5 {
+            a.put(synth_address(i), synth_account(i, 1));
+        }
+        // Each modification: old pair only in b, new pair only in a ⇒ 2 items.
+        assert_eq!(a.item_difference(&b), 10);
+        // Add 3 brand-new accounts to `a`: 1 item each.
+        for i in 1000..1003 {
+            a.put(synth_address(i), synth_account(i, 0));
+        }
+        assert_eq!(a.item_difference(&b), 13);
+        assert_eq!(b.item_difference(&a), 13);
+    }
+
+    #[test]
+    fn trie_root_tracks_content() {
+        let a = Ledger::genesis(200);
+        let mut b = Ledger::genesis(200);
+        assert_eq!(a.to_trie().root(), b.to_trie().root());
+        b.put(synth_address(7), synth_account(7, 9));
+        assert_ne!(a.to_trie().root(), b.to_trie().root());
+    }
+
+    #[test]
+    fn apply_items_converges_ledgers() {
+        let latest = {
+            let mut l = Ledger::genesis(300);
+            for i in 0..30 {
+                l.put(synth_address(i), synth_account(i, 5));
+            }
+            l
+        };
+        let mut stale = Ledger::genesis(300);
+        // Items only the latest ledger has = new versions of modified accounts.
+        let remote_only: Vec<LedgerItem> = latest
+            .items()
+            .into_iter()
+            .filter(|it| !stale.items().contains(it))
+            .collect();
+        stale.apply_items(&remote_only);
+        assert_eq!(stale, latest);
+    }
+
+    #[test]
+    fn addresses_are_distinct() {
+        let a = Ledger::genesis(10_000);
+        assert_eq!(a.len(), 10_000, "synthetic addresses must not collide at this scale");
+    }
+}

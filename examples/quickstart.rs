@@ -1,0 +1,65 @@
+//! Quickstart: reconcile two sets with Rateless IBLT.
+//!
+//! Run with `cargo run --release --example quickstart`.
+//!
+//! Shows both APIs:
+//! 1. the streaming `Encoder`/`Decoder` pair (Alice streams coded symbols
+//!    until Bob signals completion), and
+//! 2. the one-shot `Sketch` API (build, subtract, decode).
+
+use riblt::{Decoder, Encoder, FixedBytes, Sketch};
+
+type Item = FixedBytes<32>;
+
+fn item(i: u64) -> Item {
+    let mut bytes = [0u8; 32];
+    bytes[..8].copy_from_slice(&i.to_le_bytes());
+    bytes[8..16].copy_from_slice(&i.wrapping_mul(0x9e37_79b9_7f4a_7c15).to_le_bytes());
+    FixedBytes(bytes)
+}
+
+fn main() {
+    // Alice holds 100,000 items; Bob holds the same set except that he is
+    // missing 20 of Alice's items and has 15 items of his own.
+    let alice_set: Vec<Item> = (0..100_000).map(item).collect();
+    let bob_set: Vec<Item> = (20..100_015).map(item).collect();
+
+    // --- Streaming API -----------------------------------------------------
+    let mut alice = Encoder::<Item>::new();
+    for x in &alice_set {
+        alice.add_symbol(*x).unwrap();
+    }
+    let mut bob = Decoder::<Item>::new();
+    for x in &bob_set {
+        bob.add_symbol(*x).unwrap();
+    }
+
+    let mut sent = 0;
+    while !bob.is_decoded() {
+        bob.add_coded_symbol(alice.produce_next_coded_symbol());
+        sent += 1;
+    }
+    let diff = bob.into_difference();
+    println!("streaming API:");
+    println!("  coded symbols sent      : {sent}");
+    println!("  items Bob was missing   : {}", diff.remote_only.len());
+    println!("  items Alice was missing : {}", diff.local_only.len());
+    println!(
+        "  overhead                : {:.2} coded symbols per difference",
+        sent as f64 / diff.len() as f64
+    );
+
+    // --- Sketch API --------------------------------------------------------
+    // A fixed-size sketch is convenient when the application wants a single
+    // message; 64 coded symbols comfortably cover the 35 differences here.
+    let m = 64;
+    let sketch_a = Sketch::from_set(m, alice_set.iter());
+    let sketch_b = Sketch::from_set(m, bob_set.iter());
+    let diff = sketch_a.subtracted(&sketch_b).unwrap().decode().unwrap();
+    println!("sketch API:");
+    println!(
+        "  one {m}-symbol sketch ({} bytes of sums) recovered {} differences",
+        m * 32,
+        diff.len()
+    );
+}

@@ -1,0 +1,152 @@
+//! Property-based tests (proptest) of the workspace's core invariants.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+use rateless_reconciliation::merkle_trie::MerkleTrie;
+use rateless_reconciliation::pinsketch::PinSketch;
+use rateless_reconciliation::riblt::{
+    decode_coded_symbols, encode_coded_symbols, Decoder, Encoder, FixedBytes, Sketch,
+};
+
+type Item = FixedBytes<8>;
+
+fn to_items(values: &BTreeSet<u64>) -> Vec<Item> {
+    values.iter().map(|&v| Item::from_u64(v)).collect()
+}
+
+fn symmetric_difference(a: &BTreeSet<u64>, b: &BTreeSet<u64>) -> BTreeSet<u64> {
+    a.symmetric_difference(b).copied().collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The streaming protocol recovers exactly the symmetric difference for
+    /// arbitrary sets (and always terminates within a generous budget).
+    #[test]
+    fn streaming_recovers_exact_symmetric_difference(
+        a in prop::collection::btree_set(1u64..1_000_000, 0..300),
+        b in prop::collection::btree_set(1u64..1_000_000, 0..300),
+    ) {
+        let expected = symmetric_difference(&a, &b);
+        let mut enc = Encoder::<Item>::new();
+        for x in to_items(&a) {
+            enc.add_symbol(x).unwrap();
+        }
+        let mut dec = Decoder::<Item>::new();
+        for x in to_items(&b) {
+            dec.add_symbol(x).unwrap();
+        }
+        let mut used = 0usize;
+        while !dec.is_decoded() {
+            dec.add_coded_symbol(enc.produce_next_coded_symbol());
+            used += 1;
+            prop_assert!(used < 40 * expected.len().max(4), "failed to converge");
+        }
+        let diff = dec.into_difference();
+        let got: BTreeSet<u64> = diff
+            .remote_only
+            .iter()
+            .chain(diff.local_only.iter())
+            .map(|s| s.to_u64())
+            .collect();
+        prop_assert_eq!(got, expected);
+        // Side attribution must also be exact.
+        let remote: BTreeSet<u64> = diff.remote_only.iter().map(|s| s.to_u64()).collect();
+        let expected_remote: BTreeSet<u64> = a.difference(&b).copied().collect();
+        prop_assert_eq!(remote, expected_remote);
+    }
+
+    /// Sketch subtraction is linear: sketch(A) ⊖ sketch(B) decodes A △ B, no
+    /// matter how the sets overlap, whenever the sketch is large enough.
+    #[test]
+    fn sketch_linearity(
+        a in prop::collection::btree_set(1u64..100_000, 0..120),
+        b in prop::collection::btree_set(1u64..100_000, 0..120),
+    ) {
+        let expected = symmetric_difference(&a, &b);
+        let m = 4 * expected.len().max(8);
+        let sa = Sketch::from_set(m, to_items(&a).iter());
+        let sb = Sketch::from_set(m, to_items(&b).iter());
+        let decoded = sa.subtracted(&sb).unwrap().decode();
+        // With 4x overhead failure is negligible; treat it as a bug.
+        let diff = decoded.expect("sketch with 4x overhead must decode");
+        let got: BTreeSet<u64> = diff
+            .remote_only
+            .iter()
+            .chain(diff.local_only.iter())
+            .map(|s| s.to_u64())
+            .collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Wire-format round trip is lossless for arbitrary coded-symbol
+    /// prefixes.
+    #[test]
+    fn wire_roundtrip(
+        values in prop::collection::btree_set(1u64..u64::MAX, 0..200),
+        prefix in 1usize..256,
+    ) {
+        let mut enc = Encoder::<Item>::new();
+        for x in to_items(&values) {
+            enc.add_symbol(x).unwrap();
+        }
+        let symbols = enc.produce_coded_symbols(prefix);
+        let bytes = encode_coded_symbols(&symbols, 8, values.len() as u64);
+        let back = decode_coded_symbols::<Item>(&bytes, 8).unwrap();
+        prop_assert_eq!(back, symbols);
+    }
+
+    /// PinSketch with capacity ≥ d recovers the exact difference of two
+    /// non-zero element sets.
+    #[test]
+    fn pinsketch_exact_recovery(
+        a in prop::collection::btree_set(1u64..u64::MAX, 0..40),
+        b in prop::collection::btree_set(1u64..u64::MAX, 0..40),
+    ) {
+        let expected = symmetric_difference(&a, &b);
+        let capacity = expected.len().max(1);
+        let pa = PinSketch::from_set(capacity, a.iter().copied()).unwrap();
+        let pb = PinSketch::from_set(capacity, b.iter().copied()).unwrap();
+        let got: BTreeSet<u64> = pa
+            .merged(&pb)
+            .unwrap()
+            .decode()
+            .expect("capacity >= difference must decode")
+            .into_iter()
+            .collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// The Merkle trie behaves like a map, and its root hash is a pure
+    /// function of the final contents (insertion-order independent).
+    #[test]
+    fn trie_behaves_like_a_map(
+        entries in prop::collection::btree_map(
+            prop::collection::vec(any::<u8>(), 20),
+            prop::collection::vec(any::<u8>(), 1..72),
+            0..120,
+        ),
+    ) {
+        let mut forward = MerkleTrie::new();
+        for (k, v) in &entries {
+            forward.insert(k, v.clone());
+        }
+        let mut backward = MerkleTrie::new();
+        for (k, v) in entries.iter().rev() {
+            backward.insert(k, v.clone());
+        }
+        prop_assert_eq!(forward.root(), backward.root());
+        prop_assert_eq!(forward.len(), entries.len());
+        for (k, v) in &entries {
+            prop_assert_eq!(forward.get(k), Some(v.as_slice()));
+        }
+        let mut leaves = forward.leaves();
+        leaves.sort();
+        let mut expected: Vec<(Vec<u8>, Vec<u8>)> =
+            entries.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        expected.sort();
+        prop_assert_eq!(leaves, expected);
+    }
+}

@@ -1,0 +1,69 @@
+//! Integration test of the §7.3 application path: synthetic chain, both
+//! synchronization protocols, convergence, and the qualitative comparison
+//! the paper reports.
+
+use rateless_reconciliation::netsim::LinkConfig;
+use rateless_reconciliation::statesync::{
+    sync_with_heal, sync_with_riblt, Chain, ChainConfig, HealSyncConfig, RibltSyncConfig,
+};
+
+fn chain() -> Chain {
+    Chain::generate(ChainConfig::test_scale(), 30)
+}
+
+#[test]
+fn both_protocols_converge_to_the_same_state() {
+    let chain = chain();
+    let latest = chain.snapshot_at(30);
+    let stale = chain.snapshot_at(12);
+    let target_root = latest.to_trie().root();
+
+    let (riblt_ledger, riblt_outcome) =
+        sync_with_riblt(&latest, &stale, RibltSyncConfig::default());
+    assert_eq!(riblt_ledger.to_trie().root(), target_root);
+
+    let (healed_trie, heal_outcome) = sync_with_heal(&latest, &stale, HealSyncConfig::default());
+    assert_eq!(healed_trie.root(), target_root);
+
+    // The qualitative claims of §7.3: fewer bytes, fewer rounds, less time.
+    assert!(riblt_outcome.total_bytes() < heal_outcome.total_bytes());
+    assert!(riblt_outcome.rounds < heal_outcome.rounds);
+    assert!(riblt_outcome.completion_time_s < heal_outcome.completion_time_s);
+}
+
+#[test]
+fn completion_time_grows_with_staleness_for_both_protocols() {
+    let chain = chain();
+    let latest = chain.snapshot_at(30);
+    let cfg_link = LinkConfig::with_mbps(20.0);
+    let riblt_cfg = RibltSyncConfig {
+        link: cfg_link,
+        ..Default::default()
+    };
+    let heal_cfg = HealSyncConfig {
+        link: cfg_link,
+        ..Default::default()
+    };
+    let (_, riblt_fresh) = sync_with_riblt(&latest, &chain.snapshot_at(28), riblt_cfg);
+    let (_, riblt_stale) = sync_with_riblt(&latest, &chain.snapshot_at(2), riblt_cfg);
+    assert!(riblt_stale.total_bytes() > riblt_fresh.total_bytes());
+
+    let (_, heal_fresh) = sync_with_heal(&latest, &chain.snapshot_at(28), heal_cfg);
+    let (_, heal_stale) = sync_with_heal(&latest, &chain.snapshot_at(2), heal_cfg);
+    assert!(heal_stale.total_bytes() > heal_fresh.total_bytes());
+}
+
+#[test]
+fn bandwidth_trace_accounts_for_all_downstream_bytes() {
+    let chain = chain();
+    let latest = chain.snapshot_at(30);
+    let stale = chain.snapshot_at(20);
+    let (_, outcome) = sync_with_riblt(&latest, &stale, RibltSyncConfig::default());
+    assert_eq!(outcome.downstream_series.total_bytes(), outcome.bytes_downstream);
+    let trace = outcome.downstream_series.bandwidth_mbps(0.1);
+    assert!(!trace.is_empty());
+    // No bin can exceed the 20 Mbps link rate by more than rounding slack.
+    for (_, mbps) in trace {
+        assert!(mbps <= 20.5, "bin exceeds the link rate: {mbps}");
+    }
+}

@@ -82,7 +82,12 @@ pub fn recovered_fraction(alpha: f64, eta: f64) -> f64 {
 /// Produces the DE prediction of Fig. 6: recovered fraction as a function of
 /// the normalized number of received coded symbols η over `points` samples
 /// of `[eta_min, eta_max]`.
-pub fn recovery_trajectory(alpha: f64, eta_min: f64, eta_max: f64, points: usize) -> Vec<(f64, f64)> {
+pub fn recovery_trajectory(
+    alpha: f64,
+    eta_min: f64,
+    eta_max: f64,
+    points: usize,
+) -> Vec<(f64, f64)> {
     assert!(points >= 2 && eta_max > eta_min && eta_min > 0.0);
     (0..points)
         .map(|i| {
@@ -120,8 +125,14 @@ mod tests {
         let small = threshold(0.2, 1e-3);
         let best = threshold(0.64, 1e-3);
         let large = threshold(0.95, 1e-3);
-        assert!(small > best, "too-dense mappings also cost more: {small} vs {best}");
-        assert!(large > best, "too-sparse mappings cost more: {large} vs {best}");
+        assert!(
+            small > best,
+            "too-dense mappings also cost more: {small} vs {best}"
+        );
+        assert!(
+            large > best,
+            "too-sparse mappings cost more: {large} vs {best}"
+        );
         assert!(large < 3.0, "η*(0.95) = {large} should still be finite");
     }
 
@@ -137,7 +148,10 @@ mod tests {
         let below = recovered_fraction(0.5, 1.0);
         let above = recovered_fraction(0.5, 1.45);
         assert!(below < 0.9, "below threshold the decoder stalls: {below}");
-        assert!(above > 0.999, "above threshold recovery is complete: {above}");
+        assert!(
+            above > 0.999,
+            "above threshold recovery is complete: {above}"
+        );
     }
 
     #[test]
@@ -145,7 +159,10 @@ mod tests {
         let traj = recovery_trajectory(0.5, 0.2, 1.6, 30);
         assert_eq!(traj.len(), 30);
         for w in traj.windows(2) {
-            assert!(w[1].1 >= w[0].1 - 1e-9, "recovery must not decrease with more symbols");
+            assert!(
+                w[1].1 >= w[0].1 - 1e-9,
+                "recovery must not decrease with more symbols"
+            );
         }
         assert!(traj.last().unwrap().1 > 0.999);
         assert!(traj.first().unwrap().1 < 0.8);

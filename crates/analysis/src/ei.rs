@@ -54,7 +54,10 @@ pub fn e1(y: f64) -> f64 {
 
 /// Exponential integral Ei(x) for x < 0.
 pub fn ei_negative(x: f64) -> f64 {
-    assert!(x < 0.0, "this routine evaluates Ei on the negative axis only");
+    assert!(
+        x < 0.0,
+        "this routine evaluates Ei on the negative axis only"
+    );
     -e1(-x)
 }
 

@@ -15,7 +15,9 @@ pub mod ei;
 pub mod monte_carlo;
 pub mod stats;
 
-pub use density_evolution::{de_map, decodable, recovered_fraction, recovery_trajectory, threshold};
+pub use density_evolution::{
+    de_map, decodable, recovered_fraction, recovery_trajectory, threshold,
+};
 pub use ei::{e1, ei_negative, EULER_GAMMA};
 pub use monte_carlo::{
     decode_progress, irregular_overhead_summary, overhead_summary, random_set, symbols_to_decode,

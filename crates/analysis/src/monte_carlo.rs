@@ -99,7 +99,12 @@ pub fn irregular_overhead_summary(
 /// coded symbols, averaged over `trials` runs of a `d`-symbol set. Returns
 /// rows `(m as a fraction of d, mean recovered fraction)` — the simulation
 /// side of Fig. 6.
-pub fn decode_progress(d: u64, max_overhead: f64, trials: usize, base_seed: u64) -> Vec<(f64, f64)> {
+pub fn decode_progress(
+    d: u64,
+    max_overhead: f64,
+    trials: usize,
+    base_seed: u64,
+) -> Vec<(f64, f64)> {
     let max_symbols = (max_overhead * d as f64).ceil() as usize;
     let per_trial: Vec<Vec<f64>> = run_parallel(trials, |t| {
         let set = random_set(d, base_seed ^ (t as u64 + 0x1000));
@@ -117,8 +122,7 @@ pub fn decode_progress(d: u64, max_overhead: f64, trials: usize, base_seed: u64)
     });
     (0..max_symbols)
         .map(|m| {
-            let mean =
-                per_trial.iter().map(|f| f[m]).sum::<f64>() / per_trial.len() as f64;
+            let mean = per_trial.iter().map(|f| f[m]).sum::<f64>() / per_trial.len() as f64;
             ((m + 1) as f64 / d as f64, mean)
         })
         .collect()
@@ -152,7 +156,10 @@ where
             });
         }
     });
-    results.into_iter().map(|r| r.expect("worker finished")).collect()
+    results
+        .into_iter()
+        .map(|r| r.expect("worker finished"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -187,7 +194,10 @@ mod tests {
         // the asymptotic 1.35 for very small d.
         let small = overhead_summary(4, 0.5, 64, 7);
         let large = overhead_summary(2048, 0.5, 4, 7);
-        assert!(small.mean > large.mean, "small-d overhead should exceed large-d");
+        assert!(
+            small.mean > large.mean,
+            "small-d overhead should exceed large-d"
+        );
         assert!(small.mean > 1.3);
     }
 
@@ -210,7 +220,10 @@ mod tests {
         let rows = decode_progress(500, 2.0, 4, 3);
         assert_eq!(rows.len(), 1000);
         let last = rows.last().unwrap();
-        assert!(last.1 > 0.999, "after 2d symbols everything should be recovered");
+        assert!(
+            last.1 > 0.999,
+            "after 2d symbols everything should be recovered"
+        );
         // Early on, little is recovered.
         assert!(rows[(0.5 * 500.0) as usize].1 < 0.5);
         // Monotone in expectation (allow small sampling noise).

@@ -15,7 +15,10 @@ fn main() {
     let trials = scale.pick(50, 500);
     let m = 64usize;
 
-    eprintln!("# Appendix A reproduction ({:?} mode): {trials} trials per point", scale);
+    eprintln!(
+        "# Appendix A reproduction ({:?} mode): {trials} trials per point",
+        scale
+    );
     println!("# Theorem A.1: probability that peeling recovers at least one item (m = {m} cells)");
     csv_header(&["n_over_m", "prob_any_recovered", "prob_fully_decoded"]);
     for ratio in [0.5f64, 0.8, 1.0, 1.2, 1.5, 2.0, 3.0, 4.0] {
@@ -59,6 +62,9 @@ fn main() {
                 ok += 1;
             }
         }
-        riblt_bench::csv_row!(format!("{kept:.1}"), format!("{:.3}", ok as f64 / trials as f64));
+        riblt_bench::csv_row!(
+            format!("{kept:.1}"),
+            format!("{:.3}", ok as f64 / trials as f64)
+        );
     }
 }

@@ -11,7 +11,10 @@ use riblt_bench::{csv_header, RunScale};
 fn main() {
     let scale = RunScale::from_args();
     let alphas: Vec<f64> = (1..=19).map(|i| i as f64 * 0.05).collect();
-    let diff_sizes: Vec<u64> = scale.pick(vec![100, 1_000, 10_000], vec![100, 1_000, 10_000, 100_000, 1_000_000]);
+    let diff_sizes: Vec<u64> = scale.pick(
+        vec![100, 1_000, 10_000],
+        vec![100, 1_000, 10_000, 100_000, 1_000_000],
+    );
     let trials = scale.pick(10, 100);
 
     eprintln!(

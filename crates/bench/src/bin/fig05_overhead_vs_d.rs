@@ -12,8 +12,18 @@ fn main() {
     let points = scale.pick(15, 22);
     let diffs = log_spaced(1, max_d, points);
     let de = threshold(0.5, 1e-3);
-    eprintln!("# Fig. 5 reproduction ({:?} mode), DE asymptote = {de:.3}", scale);
-    csv_header(&["d", "mean_overhead", "std_dev", "min", "max", "de_asymptote"]);
+    eprintln!(
+        "# Fig. 5 reproduction ({:?} mode), DE asymptote = {de:.3}",
+        scale
+    );
+    csv_header(&[
+        "d",
+        "mean_overhead",
+        "std_dev",
+        "min",
+        "max",
+        "de_asymptote",
+    ]);
     for &d in &diffs {
         // More trials for small d where variance is high, fewer for huge d.
         let trials = scale.pick(
@@ -21,7 +31,13 @@ fn main() {
             if d <= 10_000 { 100 } else { 20 },
         );
         let s = overhead_summary(d, 0.5, trials, 0xf165 ^ d);
-        riblt_bench::csv_row!(d, format!("{:.4}", s.mean), format!("{:.4}", s.std_dev),
-            format!("{:.4}", s.min), format!("{:.4}", s.max), format!("{de:.3}"));
+        riblt_bench::csv_row!(
+            d,
+            format!("{:.4}", s.mean),
+            format!("{:.4}", s.std_dev),
+            format!("{:.4}", s.min),
+            format!("{:.4}", s.max),
+            format!("{de:.3}")
+        );
     }
 }

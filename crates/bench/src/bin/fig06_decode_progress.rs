@@ -12,7 +12,10 @@ fn main() {
     let diffs: Vec<u64> = scale.pick(vec![500, 2_000], vec![500, 2_000, 10_000]);
     let trials = scale.pick(20, 1_000);
     let max_eta = 2.0;
-    eprintln!("# Fig. 6 reproduction ({:?} mode): {trials} runs per difference size", scale);
+    eprintln!(
+        "# Fig. 6 reproduction ({:?} mode): {trials} runs per difference size",
+        scale
+    );
 
     // Simulation traces, resampled onto a common η grid of 100 points.
     let grid: Vec<f64> = (1..=100).map(|i| i as f64 * max_eta / 100.0).collect();

@@ -17,7 +17,10 @@ fn main() {
         vec![8, 32, 128, 512, 2_048, 8_192, 32_768],
         vec![8, 32, 128, 512, 2_048, 8_192, 32_768],
     );
-    eprintln!("# Fig. 11 reproduction ({:?} mode), d = {d}, N = {n}", scale);
+    eprintln!(
+        "# Fig. 11 reproduction ({:?} mode), d = {d}, N = {n}",
+        scale
+    );
     csv_header(&["item_bytes", "encode_s", "slowdown_vs_8B", "data_rate_MBps"]);
 
     let mut base = None;

@@ -6,7 +6,9 @@
 //! riblt_time_s, riblt_MB, heal_time_s, heal_MB, time_ratio, bytes_ratio`.
 
 use riblt_bench::{csv_header, RunScale};
-use statesync::{sync_with_heal, sync_with_riblt, Chain, ChainConfig, HealSyncConfig, RibltSyncConfig};
+use statesync::{
+    sync_with_heal, sync_with_riblt, Chain, ChainConfig, HealSyncConfig, RibltSyncConfig,
+};
 
 fn main() {
     let scale = RunScale::from_args();
@@ -55,7 +57,10 @@ fn main() {
             format!("{:.2}", heal.completion_time_s),
             format!("{:.3}", heal.total_megabytes()),
             format!("{:.2}", heal.completion_time_s / riblt.completion_time_s),
-            format!("{:.2}", heal.total_bytes() as f64 / riblt.total_bytes() as f64)
+            format!(
+                "{:.2}",
+                heal.total_bytes() as f64 / riblt.total_bytes() as f64
+            )
         );
     }
 }

@@ -5,7 +5,9 @@
 //! Output columns: `time_s, riblt_mbps, heal_mbps`.
 
 use riblt_bench::{csv_header, RunScale};
-use statesync::{sync_with_heal, sync_with_riblt, Chain, ChainConfig, HealSyncConfig, RibltSyncConfig};
+use statesync::{
+    sync_with_heal, sync_with_riblt, Chain, ChainConfig, HealSyncConfig, RibltSyncConfig,
+};
 
 fn main() {
     let scale = RunScale::from_args();
@@ -17,7 +19,10 @@ fn main() {
         RunScale::Full => ChainConfig::laptop_scale(),
     };
     let blocks = 20usize;
-    eprintln!("# Fig. 13 reproduction ({:?} mode): 1-block-stale synchronization", scale);
+    eprintln!(
+        "# Fig. 13 reproduction ({:?} mode): 1-block-stale synchronization",
+        scale
+    );
     let chain = Chain::generate(config, blocks);
     let latest = chain.snapshot_at(blocks);
     let stale = chain.snapshot_at(blocks - 1);

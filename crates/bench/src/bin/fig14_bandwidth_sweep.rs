@@ -7,7 +7,9 @@
 
 use netsim::LinkConfig;
 use riblt_bench::{csv_header, RunScale};
-use statesync::{sync_with_heal, sync_with_riblt, Chain, ChainConfig, HealSyncConfig, RibltSyncConfig};
+use statesync::{
+    sync_with_heal, sync_with_riblt, Chain, ChainConfig, HealSyncConfig, RibltSyncConfig,
+};
 
 fn main() {
     let scale = RunScale::from_args();
@@ -58,7 +60,9 @@ fn main() {
                 ..Default::default()
             },
         );
-        let label = bw.map(|b| format!("{b:.0}")).unwrap_or_else(|| "unlimited".into());
+        let label = bw
+            .map(|b| format!("{b:.0}"))
+            .unwrap_or_else(|| "unlimited".into());
         riblt_bench::csv_row!(
             label,
             format!("{:.2}", riblt.completion_time_s),

@@ -14,7 +14,10 @@ fn main() {
     let trials = scale.pick(10, 100);
     let diffs = log_spaced(1, max_d, points);
     let classes = IrregularClasses::paper_optimal();
-    eprintln!("# Fig. 15 reproduction ({:?} mode): {trials} trials per point", scale);
+    eprintln!(
+        "# Fig. 15 reproduction ({:?} mode): {trials} trials per point",
+        scale
+    );
     csv_header(&["d", "regular_overhead", "irregular_overhead"]);
     for &d in &diffs {
         let reg = overhead_summary(d, 0.5, trials, 0xf1615 ^ d);

@@ -20,6 +20,11 @@ fn main() {
     let symbols = enc.produce_coded_symbols(m);
     let codec = SymbolCodec::new(8, n);
     let total = codec.count_field_bytes(&symbols, 0);
-    csv_header(&["set_size", "coded_symbols", "count_bytes_total", "count_bytes_per_symbol"]);
+    csv_header(&[
+        "set_size",
+        "coded_symbols",
+        "count_bytes_total",
+        "count_bytes_per_symbol",
+    ]);
     riblt_bench::csv_row!(n, m, total, format!("{:.3}", total as f64 / m as f64));
 }

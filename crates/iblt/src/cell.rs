@@ -6,6 +6,7 @@
 //! (uniform over a fixed table here, ρ(i)-weighted over an infinite sequence
 //! there), which is exactly the paper's point in §3.
 
+use riblt::wire::{read_vlq, write_vlq, zigzag_decode, zigzag_encode};
 use riblt::{HashedSymbol, Symbol};
 use riblt_hash::SipKey;
 
@@ -54,8 +55,7 @@ impl<S: Symbol> Cell<S> {
     /// True if the cell holds exactly one item (pure), detected by the
     /// count being ±1 and the hash matching.
     pub fn is_pure(&self, key: SipKey) -> bool {
-        (self.count == 1 || self.count == -1)
-            && self.key_sum.hash_with(key) == self.hash_sum
+        (self.count == 1 || self.count == -1) && self.key_sum.hash_with(key) == self.hash_sum
     }
 
     /// Serialized size of one cell in bytes for communication accounting:
@@ -65,6 +65,40 @@ impl<S: Symbol> Cell<S> {
     /// and count fields of the regular-IBLT baseline.
     pub fn wire_size(item_len: usize, count_bytes: usize) -> usize {
         item_len + 8 + count_bytes
+    }
+
+    /// Appends the cell's wire form to `out`: `key_sum` (`symbol_len`
+    /// bytes, all-zero for an empty variable-length sum), 8-byte LE
+    /// `hash_sum`, zig-zag VLQ `count`. The canonical cell codec — used for
+    /// whole tables and for strata estimators alike.
+    pub fn write_wire(&self, out: &mut Vec<u8>, symbol_len: usize) {
+        let sum = self.key_sum.as_bytes();
+        if sum.is_empty() {
+            out.extend(std::iter::repeat_n(0u8, symbol_len));
+        } else {
+            debug_assert_eq!(sum.len(), symbol_len);
+            out.extend_from_slice(sum);
+        }
+        out.extend_from_slice(&self.hash_sum.to_le_bytes());
+        write_vlq(out, zigzag_encode(self.count));
+    }
+
+    /// Reads one cell written by [`Self::write_wire`], advancing `pos`.
+    pub fn read_wire(bytes: &[u8], pos: &mut usize, symbol_len: usize) -> riblt::Result<Self> {
+        if *pos + symbol_len + 8 > bytes.len() {
+            return Err(riblt::Error::WireFormat("truncated cell"));
+        }
+        let key_sum = S::from_bytes(&bytes[*pos..*pos + symbol_len]);
+        *pos += symbol_len;
+        let mut h = [0u8; 8];
+        h.copy_from_slice(&bytes[*pos..*pos + 8]);
+        *pos += 8;
+        let count = zigzag_decode(read_vlq(bytes, pos)?);
+        Ok(Cell {
+            count,
+            key_sum,
+            hash_sum: u64::from_le_bytes(h),
+        })
     }
 }
 

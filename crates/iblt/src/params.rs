@@ -146,7 +146,11 @@ mod tests {
         let d = 40u64;
         let cal = calibrate(d, 0.01, 20, |cells, _k, _seed| cells as u64 >= 2 * d);
         assert!(cal.params.cells >= 80);
-        assert!(cal.params.cells < 100, "should not overshoot far: {}", cal.params.cells);
+        assert!(
+            cal.params.cells < 100,
+            "should not overshoot far: {}",
+            cal.params.cells
+        );
         assert_eq!(cal.observed_failure_rate, 0.0);
     }
 

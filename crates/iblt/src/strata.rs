@@ -14,9 +14,11 @@
 //! that follows. Both costs appear in the "Regular IBLT + Estimator" line of
 //! Fig. 7.
 
+use riblt::wire::{read_vlq, write_vlq};
 use riblt::FixedBytes;
 use riblt_hash::{siphash24, SipKey};
 
+use crate::cell::Cell;
 use crate::table::Iblt;
 
 /// Fingerprints stored inside the estimator (8 bytes is plenty: the
@@ -61,6 +63,11 @@ impl StrataEstimator {
         self.num_strata
     }
 
+    /// Cells per stratum (as requested at construction).
+    pub fn cells_per_stratum(&self) -> usize {
+        self.cells_per_stratum
+    }
+
     /// Stratum an item belongs to: the number of trailing zeros of an
     /// independent hash of the item, clamped to the deepest stratum.
     fn stratum_of(&self, item_bytes: &[u8]) -> usize {
@@ -92,7 +99,10 @@ impl StrataEstimator {
     /// stratum ends the scan and scales the running total by the sampling
     /// rate of the next-shallower stratum.
     pub fn estimate(&self, other: &StrataEstimator) -> u64 {
-        assert_eq!(self.num_strata, other.num_strata, "estimator geometry mismatch");
+        assert_eq!(
+            self.num_strata, other.num_strata,
+            "estimator geometry mismatch"
+        );
         assert_eq!(
             self.cells_per_stratum, other.cells_per_stratum,
             "estimator geometry mismatch"
@@ -118,6 +128,59 @@ impl StrataEstimator {
     /// in practice for estimators).
     pub fn wire_size(&self) -> usize {
         self.num_strata * self.cells_per_stratum * (8 + 4 + 4)
+    }
+
+    /// Serializes the estimator for transmission: geometry header followed
+    /// by every stratum cell (8-byte fingerprint sum, 8-byte hash sum,
+    /// zig-zag VLQ count). The checksum key is *not* serialized; the peer
+    /// must already share it.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + self.num_strata * self.cells_per_stratum * 17);
+        write_vlq(&mut out, self.num_strata as u64);
+        write_vlq(&mut out, self.cells_per_stratum as u64);
+        for stratum in &self.strata {
+            for cell in stratum.cells() {
+                cell.write_wire(&mut out, 8);
+            }
+        }
+        out
+    }
+
+    /// Deserializes an estimator produced by [`Self::to_bytes`], pairing it
+    /// with the shared checksum key.
+    pub fn from_bytes(bytes: &[u8], key: SipKey) -> riblt::Result<Self> {
+        let mut pos = 0usize;
+        let num_strata = read_vlq(bytes, &mut pos)? as usize;
+        let cells_per_stratum = read_vlq(bytes, &mut pos)? as usize;
+        if num_strata == 0 || num_strata > 64 || cells_per_stratum == 0 {
+            return Err(riblt::Error::WireFormat("bad estimator geometry"));
+        }
+        // Every cell needs at least 17 bytes; implausible geometry is corrupt
+        // (and rejecting it bounds the allocations below). Divide rather
+        // than multiply so a hostile header cannot overflow the check.
+        if cells_per_stratum > (bytes.len() / 17 + 1) / num_strata + 1 {
+            return Err(riblt::Error::WireFormat("implausible estimator geometry"));
+        }
+        // Each stratum is a 4-hash IBLT, whose cell count is rounded up to a
+        // multiple of 4 by the constructor; mirror that here.
+        let cells_per_table = cells_per_stratum.max(4).div_ceil(4) * 4;
+        let mut strata = Vec::with_capacity(num_strata);
+        for _ in 0..num_strata {
+            let mut cells = Vec::with_capacity(cells_per_table);
+            for _ in 0..cells_per_table {
+                cells.push(Cell::<Fingerprint>::read_wire(bytes, &mut pos, 8)?);
+            }
+            strata.push(Iblt::from_parts(cells, 4, key));
+        }
+        if pos != bytes.len() {
+            return Err(riblt::Error::WireFormat("trailing estimator bytes"));
+        }
+        Ok(StrataEstimator {
+            strata,
+            num_strata,
+            cells_per_stratum,
+            key,
+        })
     }
 }
 
@@ -196,5 +259,33 @@ mod tests {
         let a = StrataEstimator::with_geometry(16, 80, SipKey::default());
         let b = StrataEstimator::with_geometry(32, 80, SipKey::default());
         let _ = a.estimate(&b);
+    }
+
+    #[test]
+    fn serialization_roundtrip_preserves_estimates() {
+        let a = estimator_over(0..8_000);
+        let b = estimator_over(30..8_030);
+        let bytes = a.to_bytes();
+        let back = StrataEstimator::from_bytes(&bytes, SipKey::default()).unwrap();
+        assert_eq!(back.num_strata(), a.num_strata());
+        assert_eq!(back.estimate(&b), a.estimate(&b));
+    }
+
+    #[test]
+    fn hostile_geometry_header_is_rejected_without_allocation() {
+        // 64 strata × 2^58 cells would overflow a naive multiply-based
+        // plausibility check and then abort on Vec::with_capacity.
+        let mut bytes = Vec::new();
+        write_vlq(&mut bytes, 64);
+        write_vlq(&mut bytes, 1u64 << 58);
+        assert!(StrataEstimator::from_bytes(&bytes, SipKey::default()).is_err());
+    }
+
+    #[test]
+    fn truncated_estimator_is_rejected() {
+        let bytes = estimator_over(0..500).to_bytes();
+        for cut in [0, 1, bytes.len() / 2, bytes.len() - 1] {
+            assert!(StrataEstimator::from_bytes(&bytes[..cut], SipKey::default()).is_err());
+        }
     }
 }

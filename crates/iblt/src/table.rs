@@ -65,6 +65,26 @@ impl<S: Symbol> Iblt<S> {
         }
     }
 
+    /// Reassembles a table from raw cells (e.g. received over the wire).
+    ///
+    /// `cells.len()` must be a positive multiple of `k`, matching the
+    /// geometry [`Self::with_key`] would produce; the key must be the one
+    /// the sender used.
+    pub fn from_parts(cells: Vec<Cell<S>>, k: usize, key: SipKey) -> Self {
+        assert!(k >= 1, "need at least one hash function");
+        assert!(
+            !cells.is_empty() && cells.len().is_multiple_of(k),
+            "cell count {} is not a positive multiple of k = {k}",
+            cells.len()
+        );
+        Iblt { cells, k, key }
+    }
+
+    /// The checksum key.
+    pub fn key(&self) -> SipKey {
+        self.key
+    }
+
     /// Number of cells.
     pub fn len(&self) -> usize {
         self.cells.len()
@@ -212,7 +232,12 @@ mod tests {
         let t = Iblt::from_set(90, 3, items.iter());
         let out = t.decode();
         assert!(out.is_complete());
-        let got: BTreeSet<u64> = out.difference().remote_only.iter().map(|s| s.to_u64()).collect();
+        let got: BTreeSet<u64> = out
+            .difference()
+            .remote_only
+            .iter()
+            .map(|s| s.to_u64())
+            .collect();
         assert_eq!(got, (0..30).collect());
     }
 

@@ -270,7 +270,11 @@ mod tests {
         // whole trie, but amplified by the trie depth relative to the 20
         // differing leaves.
         assert!(stats.leaves_written >= 20);
-        assert!(stats.nodes_requested < 600, "requested {}", stats.nodes_requested);
+        assert!(
+            stats.nodes_requested < 600,
+            "requested {}",
+            stats.nodes_requested
+        );
         assert!(
             stats.nodes_requested > 20,
             "trie-depth amplification should make node count exceed leaf count"
@@ -297,7 +301,10 @@ mod tests {
         let (_, stats) = heal_in_memory(stale, &server, 128);
         assert!(stats.request_bytes >= stats.nodes_requested * 32);
         assert!(stats.response_bytes > 0);
-        assert_eq!(stats.total_bytes(), stats.request_bytes + stats.response_bytes);
+        assert_eq!(
+            stats.total_bytes(),
+            stats.request_bytes + stats.response_bytes
+        );
     }
 
     #[test]

@@ -16,7 +16,10 @@ pub fn to_nibbles(key: &[u8]) -> Vec<u8> {
 
 /// Converts an even-length nibble path back to bytes. Panics on odd length.
 pub fn from_nibbles(nibbles: &[u8]) -> Vec<u8> {
-    assert!(nibbles.len() % 2 == 0, "nibble path must have even length");
+    assert!(
+        nibbles.len().is_multiple_of(2),
+        "nibble path must have even length"
+    );
     nibbles
         .chunks_exact(2)
         .map(|pair| (pair[0] << 4) | (pair[1] & 0x0f))
@@ -83,7 +86,13 @@ mod tests {
 
     #[test]
     fn pack_unpack_roundtrip_even_and_odd() {
-        for path in [vec![], vec![1], vec![1, 2], vec![0xf, 0xe, 0xd], vec![1; 40]] {
+        for path in [
+            vec![],
+            vec![1],
+            vec![1, 2],
+            vec![0xf, 0xe, 0xd],
+            vec![1; 40],
+        ] {
             let packed = pack(&path);
             let (unpacked, used) = unpack(&packed).unwrap();
             assert_eq!(unpacked, path);

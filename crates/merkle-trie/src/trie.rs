@@ -216,8 +216,7 @@ impl MerkleTrie {
                     };
                 }
                 Node::Extension { path, child } => {
-                    if remaining.len() < path.len() || &remaining[..path.len()] != path.as_slice()
-                    {
+                    if remaining.len() < path.len() || &remaining[..path.len()] != path.as_slice() {
                         return None;
                     }
                     remaining = &remaining[path.len()..];
@@ -277,7 +276,12 @@ impl MerkleTrie {
         out
     }
 
-    fn collect_leaves(&self, node: Hash256, prefix: &mut Vec<u8>, out: &mut Vec<(Vec<u8>, Vec<u8>)>) {
+    fn collect_leaves(
+        &self,
+        node: Hash256,
+        prefix: &mut Vec<u8>,
+        out: &mut Vec<(Vec<u8>, Vec<u8>)>,
+    ) {
         if node.is_zero() {
             return;
         }

@@ -46,7 +46,10 @@ pub const DEFAULT_TARGETS: [u64; 6] = [16, 80, 400, 2_000, 10_000, 50_000];
 /// The cumulative cell count after block `j` follows the regular-IBLT
 /// parameter rule for `targets[j]`; each block carries the increment.
 pub fn build_specs(targets: &[u64]) -> Vec<BlockSpec> {
-    assert!(!targets.is_empty(), "need at least one target difference size");
+    assert!(
+        !targets.is_empty(),
+        "need at least one target difference size"
+    );
     assert!(
         targets.windows(2).all(|w| w[0] < w[1]),
         "targets must strictly increase"

@@ -12,4 +12,4 @@ mod block;
 mod table;
 
 pub use block::{block_key, build_specs, BlockSpec, DEFAULT_TARGETS};
-pub use table::{MetDecode, MetIblt};
+pub use table::{joint_decode, MetDecode, MetIblt};

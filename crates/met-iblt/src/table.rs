@@ -71,6 +71,11 @@ impl<S: Symbol> MetIblt<S> {
         &self.specs
     }
 
+    /// The `index`-th block.
+    pub fn block(&self, index: usize) -> &Iblt<S> {
+        &self.blocks[index]
+    }
+
     /// Total number of cells in the first `blocks` blocks.
     pub fn cells_up_to(&self, blocks: usize) -> usize {
         self.specs[..blocks.min(self.specs.len())]
@@ -117,58 +122,7 @@ impl<S: Symbol> MetIblt<S> {
     /// Jointly peels the first `blocks_used` blocks of a *difference* table.
     pub fn decode_with_blocks(&self, blocks_used: usize) -> MetDecode<S> {
         let blocks_used = blocks_used.clamp(1, self.blocks.len());
-        let mut work: Vec<Iblt<S>> = self.blocks[..blocks_used].to_vec();
-        let mut diff = SetDifference::default();
-
-        // Joint peeling: repeatedly find a pure cell in any block, recover
-        // the item, and cancel it from every block.
-        loop {
-            let mut progressed = false;
-            for b in 0..work.len() {
-                // Collect pure items of this block without holding a borrow.
-                let pures: Vec<(S, bool)> = {
-                    let decoded = work[b].decode();
-                    let complete = decoded.is_complete();
-                    let d = decoded.difference();
-                    if d.len() == 0 && !complete {
-                        Vec::new()
-                    } else {
-                        d.remote_only
-                            .into_iter()
-                            .map(|s| (s, true))
-                            .chain(d.local_only.into_iter().map(|s| (s, false)))
-                            .collect()
-                    }
-                };
-                for (item, is_remote) in pures {
-                    progressed = true;
-                    // Cancel from every block (including the one it was
-                    // recovered from).
-                    for blk in work.iter_mut() {
-                        if is_remote {
-                            blk.delete(&item);
-                        } else {
-                            blk.insert(&item);
-                        }
-                    }
-                    if is_remote {
-                        diff.remote_only.push(item);
-                    } else {
-                        diff.local_only.push(item);
-                    }
-                }
-            }
-            if !progressed {
-                break;
-            }
-        }
-
-        let complete = work.iter().all(|b| b.cells().iter().all(|c| c.is_empty()));
-        MetDecode {
-            difference: diff,
-            complete,
-            blocks_used,
-        }
+        joint_decode(&self.blocks[..blocks_used])
     }
 
     /// Decodes with the smallest block prefix that succeeds; returns the
@@ -193,6 +147,66 @@ impl<S: Symbol> MetIblt<S> {
 impl<S: Symbol> Default for MetIblt<S> {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+/// Jointly peels a slice of *difference* blocks: repeatedly find a pure cell
+/// in any block, recover the item, and cancel it from every block. Each
+/// block uses its own checksum key (see [`crate::block_key`]).
+///
+/// Exposed so receivers that obtain blocks incrementally (one per protocol
+/// round) can retry decoding over whatever prefix they hold without
+/// reassembling a full [`MetIblt`].
+pub fn joint_decode<S: Symbol>(blocks: &[Iblt<S>]) -> MetDecode<S> {
+    let mut work: Vec<Iblt<S>> = blocks.to_vec();
+    let mut diff = SetDifference::default();
+
+    loop {
+        let mut progressed = false;
+        for b in 0..work.len() {
+            // Collect pure items of this block without holding a borrow.
+            let pures: Vec<(S, bool)> = {
+                let decoded = work[b].decode();
+                let complete = decoded.is_complete();
+                let d = decoded.difference();
+                if d.is_empty() && !complete {
+                    Vec::new()
+                } else {
+                    d.remote_only
+                        .into_iter()
+                        .map(|s| (s, true))
+                        .chain(d.local_only.into_iter().map(|s| (s, false)))
+                        .collect()
+                }
+            };
+            for (item, is_remote) in pures {
+                progressed = true;
+                // Cancel from every block (including the one it was
+                // recovered from).
+                for blk in work.iter_mut() {
+                    if is_remote {
+                        blk.delete(&item);
+                    } else {
+                        blk.insert(&item);
+                    }
+                }
+                if is_remote {
+                    diff.remote_only.push(item);
+                } else {
+                    diff.local_only.push(item);
+                }
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+
+    let complete = work.iter().all(|b| b.cells().iter().all(|c| c.is_empty()));
+    MetDecode {
+        difference: diff,
+        complete,
+        blocks_used: blocks.len(),
     }
 }
 

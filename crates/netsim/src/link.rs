@@ -174,7 +174,10 @@ mod tests {
         let mut link = SimLink::new(LinkConfig::with_mbps(8.0));
         let down = link.send(LinkDirection::ServerToClient, 0.0, 1_000_000);
         let up = link.send(LinkDirection::ClientToServer, 0.0, 1_000_000);
-        assert!((down - up).abs() < 1e-9, "full duplex directions should not interfere");
+        assert!(
+            (down - up).abs() < 1e-9,
+            "full duplex directions should not interfere"
+        );
     }
 
     #[test]

@@ -40,10 +40,7 @@ impl TimeSeries {
 
     /// Time of the last event (0 if empty).
     pub fn end_time(&self) -> f64 {
-        self.events
-            .iter()
-            .map(|(t, _)| *t)
-            .fold(0.0, f64::max)
+        self.events.iter().map(|(t, _)| *t).fold(0.0, f64::max)
     }
 
     /// Bins events into intervals of `bin_seconds`, returning

@@ -76,7 +76,10 @@ impl Poly {
 
     /// Leading coefficient (panics on the zero polynomial).
     pub fn leading(&self) -> Gf64 {
-        *self.coeffs.last().expect("zero polynomial has no leading coefficient")
+        *self
+            .coeffs
+            .last()
+            .expect("zero polynomial has no leading coefficient")
     }
 
     /// Addition (= subtraction in characteristic 2).
@@ -116,7 +119,7 @@ impl Poly {
     pub fn div_rem(&self, divisor: &Poly) -> (Poly, Poly) {
         assert!(!divisor.is_zero(), "division by the zero polynomial");
         let ddeg = divisor.degree().unwrap();
-        if self.degree().map_or(true, |d| d < ddeg) {
+        if self.degree().is_none_or(|d| d < ddeg) {
             return (Poly::zero(), self.clone());
         }
         let lead_inv = divisor.leading().inverse();
@@ -222,7 +225,7 @@ mod tests {
         let a = p(&[7, 3, 0, 9, 1, 4]);
         let b = p(&[2, 0, 5]);
         let (q, r) = a.div_rem(&b);
-        assert!(r.degree().map_or(true, |d| d < b.degree().unwrap()));
+        assert!(r.degree().is_none_or(|d| d < b.degree().unwrap()));
         let back = q.mul(&b).add(&r);
         assert_eq!(back, a);
     }

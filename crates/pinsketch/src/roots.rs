@@ -28,6 +28,9 @@ pub fn find_roots(poly: &Poly) -> Option<Vec<Gf64>> {
     }
     let monic = poly.monic();
     let expected = monic.degree().unwrap();
+    if !splits_into_distinct_linear_factors(&monic) {
+        return None;
+    }
     let mut roots = Vec::with_capacity(expected);
     if !split(&monic, &mut roots, 0) {
         return None;
@@ -45,6 +48,26 @@ pub fn find_roots(poly: &Poly) -> Option<Vec<Gf64>> {
     Some(roots)
 }
 
+/// True iff monic `p` (degree ≥ 1) is a product of *distinct* linear
+/// factors over GF(2⁶⁴), i.e. `p` divides x^(2⁶⁴) − x — equivalently
+/// x^(2⁶⁴) ≡ x (mod p). Computed with 64 modular squarings of x.
+///
+/// Running this up front makes the over-capacity failure path cheap and
+/// deterministic: without it, a locator polynomial that does not split
+/// sends the trace algorithm through its full per-level β retry budget
+/// before decoding can be declared failed.
+fn splits_into_distinct_linear_factors(p: &Poly) -> bool {
+    let x = Poly::monomial(Gf64::ONE, 1);
+    if p.degree() == Some(1) {
+        return true;
+    }
+    let mut frob = x.rem(p);
+    for _ in 0..64 {
+        frob = frob.square_mod(p);
+    }
+    frob == x
+}
+
 /// Recursively splits `p` (monic, degree ≥ 1), appending roots.
 fn split(p: &Poly, roots: &mut Vec<Gf64>, salt: u64) -> bool {
     let degree = match p.degree() {
@@ -58,7 +81,9 @@ fn split(p: &Poly, roots: &mut Vec<Gf64>, salt: u64) -> bool {
     }
 
     for attempt in 0..MAX_SPLIT_ATTEMPTS {
-        let beta = Gf64(splitmix64(salt.wrapping_mul(0x9e37_79b9).wrapping_add(attempt + 1)));
+        let beta = Gf64(splitmix64(
+            salt.wrapping_mul(0x9e37_79b9).wrapping_add(attempt + 1),
+        ));
         if beta.is_zero() {
             continue;
         }
@@ -109,7 +134,7 @@ mod tests {
 
     #[test]
     fn finds_roots_of_larger_products() {
-        let roots: Vec<u64> = (1..=40u64).map(|i| splitmix64(i)).collect();
+        let roots: Vec<u64> = (1..=40u64).map(splitmix64).collect();
         let p = poly_with_roots(&roots);
         let mut found: Vec<u64> = find_roots(&p).unwrap().iter().map(|g| g.0).collect();
         found.sort_unstable();

@@ -139,7 +139,7 @@ impl PinSketch {
 
     /// Deserializes a sketch produced by [`Self::to_bytes`].
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, PinSketchError> {
-        if bytes.is_empty() || bytes.len() % 8 != 0 {
+        if bytes.is_empty() || !bytes.len().is_multiple_of(8) {
             return Err(PinSketchError::MalformedBytes);
         }
         let syndromes = bytes
@@ -206,7 +206,11 @@ mod tests {
     use riblt_hash::splitmix64;
     use std::collections::BTreeSet;
 
-    fn reconcile(capacity: usize, alice: &[u64], bob: &[u64]) -> Result<BTreeSet<u64>, PinSketchError> {
+    fn reconcile(
+        capacity: usize,
+        alice: &[u64],
+        bob: &[u64],
+    ) -> Result<BTreeSet<u64>, PinSketchError> {
         let sa = PinSketch::from_set(capacity, alice.iter().copied())?;
         let sb = PinSketch::from_set(capacity, bob.iter().copied())?;
         let diff = sa.merged(&sb)?;

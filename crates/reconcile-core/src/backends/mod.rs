@@ -1,0 +1,25 @@
+//! [`crate::ReconcileBackend`] adapters for the sketch families in the
+//! workspace.
+//!
+//! | Backend | Scheme | Flow |
+//! |---|---|---|
+//! | [`RibltBackend`] | Rateless IBLT (paper) | streaming |
+//! | [`IrregularRibltBackend`] | Irregular Rateless IBLT (§8) | streaming |
+//! | [`IbltBackend`] | regular IBLT + strata estimator | interactive |
+//! | [`MetIbltBackend`] | MET-IBLT extension blocks | interactive |
+//! | [`PinSketchBackend`] | BCH syndromes (PinSketch) | interactive |
+//!
+//! The Merkle-trie heal baseline implements the same trait in `statesync`,
+//! where ledger-specific keying lives.
+
+mod iblt;
+mod irregular;
+mod met;
+mod pinsketch;
+mod riblt;
+
+pub use self::iblt::{IbltBackend, IbltClient, IbltServer};
+pub use self::irregular::{IrregularClient, IrregularRibltBackend, IrregularServer};
+pub use self::met::{MetClient, MetIbltBackend, MetServer};
+pub use self::pinsketch::{PinClient, PinItem, PinServer, PinSketchBackend};
+pub use self::riblt::{RibltBackend, RibltClient, RibltServer};

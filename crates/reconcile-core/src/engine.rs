@@ -1,0 +1,271 @@
+//! The transport-agnostic session engine.
+//!
+//! [`ClientEngine`] and [`ServerEngine`] wrap one endpoint of a
+//! reconciliation conversation over any [`ReconcileBackend`]; they exchange
+//! opaque [`EngineMessage`]s, so the transport (an in-memory loop, the
+//! deterministic network emulator, a real TCP socket) only moves bytes.
+//! [`run_in_memory`] drives a complete conversation without a transport and
+//! is what the cross-backend conformance suite and the byte-accounting
+//! experiments use.
+
+use riblt::SetDifference;
+
+use crate::backend::{Progress, ReconcileBackend};
+use crate::error::{EngineError, Result};
+
+/// Messages exchanged between the two engine endpoints.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineMessage {
+    /// Client → server: opening request.
+    Open(Vec<u8>),
+    /// Server → client: one coded payload.
+    Payload(Vec<u8>),
+    /// Client → server: interactive follow-up request.
+    Request(Vec<u8>),
+    /// Client → server: reconciliation finished, stop serving.
+    Done,
+}
+
+impl EngineMessage {
+    /// Size of the message on the wire: payload plus a 1-byte tag.
+    pub fn wire_size(&self) -> usize {
+        match self {
+            EngineMessage::Open(b) | EngineMessage::Payload(b) | EngineMessage::Request(b) => {
+                b.len() + 1
+            }
+            EngineMessage::Done => 1,
+        }
+    }
+
+    /// The raw payload bytes (empty for [`EngineMessage::Done`]).
+    pub fn bytes(&self) -> &[u8] {
+        match self {
+            EngineMessage::Open(b) | EngineMessage::Payload(b) | EngineMessage::Request(b) => b,
+            EngineMessage::Done => &[],
+        }
+    }
+
+    /// Serializes the message as a self-describing frame (1-byte tag +
+    /// payload), for transports that move raw byte frames (TCP, pipes).
+    pub fn to_frame(&self) -> Vec<u8> {
+        let (tag, payload) = match self {
+            EngineMessage::Open(b) => (0u8, b.as_slice()),
+            EngineMessage::Payload(b) => (1, b.as_slice()),
+            EngineMessage::Request(b) => (2, b.as_slice()),
+            EngineMessage::Done => (3, &[][..]),
+        };
+        let mut out = Vec::with_capacity(1 + payload.len());
+        out.push(tag);
+        out.extend_from_slice(payload);
+        out
+    }
+
+    /// Inverse of [`Self::to_frame`].
+    pub fn from_frame(frame: &[u8]) -> Result<EngineMessage> {
+        let (&tag, payload) = frame
+            .split_first()
+            .ok_or(EngineError::WireFormat("empty frame"))?;
+        Ok(match tag {
+            0 => EngineMessage::Open(payload.to_vec()),
+            1 => EngineMessage::Payload(payload.to_vec()),
+            2 => EngineMessage::Request(payload.to_vec()),
+            3 if payload.is_empty() => EngineMessage::Done,
+            _ => return Err(EngineError::WireFormat("unknown frame tag")),
+        })
+    }
+}
+
+/// The serving endpoint (reference set) of a session.
+#[derive(Debug)]
+pub struct ServerEngine<B: ReconcileBackend> {
+    backend: B,
+    server: B::Server,
+    finished: bool,
+}
+
+impl<B: ReconcileBackend> ServerEngine<B> {
+    /// Creates a server endpoint over `items`.
+    pub fn new(backend: B, items: &[B::Item]) -> Self {
+        let server = backend.build_server(items);
+        ServerEngine {
+            backend,
+            server,
+            finished: false,
+        }
+    }
+
+    /// True once the client has signalled completion.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Handles one client message, returning the payload to send back (or
+    /// `None` for [`EngineMessage::Done`]).
+    pub fn handle(&mut self, message: &EngineMessage) -> Result<Option<EngineMessage>> {
+        match message {
+            EngineMessage::Open(req) | EngineMessage::Request(req) => {
+                if self.finished {
+                    return Err(EngineError::Protocol("request after completion"));
+                }
+                let payload = self.backend.serve(&mut self.server, Some(req))?;
+                Ok(Some(EngineMessage::Payload(payload)))
+            }
+            EngineMessage::Done => {
+                self.finished = true;
+                Ok(None)
+            }
+            EngineMessage::Payload(_) => Err(EngineError::Protocol(
+                "server received a server-side payload",
+            )),
+        }
+    }
+
+    /// Produces the next unprompted payload (streaming backends only; called
+    /// while the client keeps answering [`Progress::AwaitStream`]).
+    pub fn next_payload(&mut self) -> Result<EngineMessage> {
+        if self.finished {
+            return Err(EngineError::Protocol("stream after completion"));
+        }
+        let payload = self.backend.serve(&mut self.server, None)?;
+        Ok(EngineMessage::Payload(payload))
+    }
+}
+
+/// The decoding endpoint (local set) of a session.
+#[derive(Debug)]
+pub struct ClientEngine<B: ReconcileBackend> {
+    backend: B,
+    client: B::Client,
+    done: bool,
+}
+
+impl<B: ReconcileBackend> ClientEngine<B> {
+    /// Creates a client endpoint over `items`.
+    pub fn new(backend: B, items: &[B::Item]) -> Self {
+        let client = backend.build_client(items);
+        ClientEngine {
+            backend,
+            client,
+            done: false,
+        }
+    }
+
+    /// The opening message to send to the server.
+    pub fn open(&mut self) -> EngineMessage {
+        EngineMessage::Open(self.backend.open_request(&mut self.client))
+    }
+
+    /// Handles one server payload. Returns the message to send back:
+    /// `Some(Done)` on completion, `Some(Request(..))` for interactive
+    /// backends, `None` when a streaming server should just keep pushing.
+    pub fn handle(&mut self, message: &EngineMessage) -> Result<Option<EngineMessage>> {
+        let payload = match message {
+            EngineMessage::Payload(p) => p,
+            _ => return Err(EngineError::Protocol("client expects payloads")),
+        };
+        if self.done {
+            return Err(EngineError::Protocol("payload after completion"));
+        }
+        match self.backend.absorb(&mut self.client, payload)? {
+            Progress::Complete => {
+                self.done = true;
+                Ok(Some(EngineMessage::Done))
+            }
+            Progress::SendRequest(req) => Ok(Some(EngineMessage::Request(req))),
+            Progress::AwaitStream => Ok(None),
+        }
+    }
+
+    /// True once the difference has been fully recovered.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Scheme units consumed so far.
+    pub fn units(&self) -> usize {
+        self.backend.units(&self.client)
+    }
+
+    /// Consumes the endpoint, returning the recovered difference.
+    pub fn into_difference(self) -> Result<SetDifference<B::Item>> {
+        self.backend.into_difference(self.client)
+    }
+}
+
+/// Outcome of an in-memory session.
+#[derive(Debug, Clone)]
+pub struct RunReport<S> {
+    /// The recovered symmetric difference.
+    pub difference: SetDifference<S>,
+    /// Scheme units the client consumed (coded symbols, cells, syndromes).
+    pub units: usize,
+    /// Server → client payload messages delivered.
+    pub payloads: usize,
+    /// Client → server request messages (the opening request included).
+    pub rounds: usize,
+    /// Bytes sent server → client (payloads, tags included).
+    pub bytes_to_client: usize,
+    /// Bytes sent client → server (requests and the final Done).
+    pub bytes_to_server: usize,
+}
+
+/// Runs a complete session in memory: the client opens, the server answers
+/// (and streams, for rateless backends), until the client completes or
+/// `max_payloads` payloads have been delivered.
+pub fn run_in_memory<B>(
+    backend: B,
+    server_items: &[B::Item],
+    client_items: &[B::Item],
+    max_payloads: usize,
+) -> Result<RunReport<B::Item>>
+where
+    B: ReconcileBackend + Clone,
+{
+    let mut server = ServerEngine::new(backend.clone(), server_items);
+    let mut client = ClientEngine::new(backend, client_items);
+
+    let mut bytes_to_server = 0usize;
+    let mut bytes_to_client = 0usize;
+    let mut payloads = 0usize;
+    let mut rounds = 1usize;
+
+    let open = client.open();
+    bytes_to_server += open.wire_size();
+    let mut pending = server.handle(&open)?;
+
+    while payloads < max_payloads {
+        let payload = pending
+            .take()
+            .ok_or(EngineError::Protocol("server stopped before completion"))?;
+        bytes_to_client += payload.wire_size();
+        payloads += 1;
+        match client.handle(&payload)? {
+            Some(reply @ EngineMessage::Done) => {
+                bytes_to_server += reply.wire_size();
+                server.handle(&reply)?;
+                break;
+            }
+            Some(reply) => {
+                bytes_to_server += reply.wire_size();
+                rounds += 1;
+                pending = server.handle(&reply)?;
+            }
+            None => {
+                pending = Some(server.next_payload()?);
+            }
+        }
+    }
+
+    if !client.is_done() {
+        return Err(EngineError::DecodeIncomplete);
+    }
+    let units = client.units();
+    Ok(RunReport {
+        difference: client.into_difference()?,
+        units,
+        payloads,
+        rounds,
+        bytes_to_client,
+        bytes_to_server,
+    })
+}

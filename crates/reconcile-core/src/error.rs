@@ -1,0 +1,54 @@
+//! Error type shared by the session engine and every backend adapter.
+
+use std::fmt;
+
+/// Errors surfaced by [`crate::ReconcileBackend`] implementations and the
+/// session engine driving them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// A peer sent malformed or truncated bytes.
+    WireFormat(&'static str),
+    /// A message arrived that the protocol state machine cannot accept
+    /// (e.g. a payload on the server side, or a request after completion).
+    Protocol(&'static str),
+    /// The reconciliation did not complete within the driver's budget
+    /// (message cap for rateless schemes, block/capacity ladder for
+    /// fixed-size ones).
+    DecodeIncomplete,
+    /// A scheme-specific failure, carried as text.
+    Backend(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::WireFormat(msg) => write!(f, "malformed wire data: {msg}"),
+            EngineError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            EngineError::DecodeIncomplete => {
+                write!(f, "reconciliation did not complete within the budget")
+            }
+            EngineError::Backend(msg) => write!(f, "backend failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<riblt::Error> for EngineError {
+    fn from(e: riblt::Error) -> Self {
+        match e {
+            riblt::Error::WireFormat(msg) => EngineError::WireFormat(msg),
+            riblt::Error::DecodeIncomplete => EngineError::DecodeIncomplete,
+            other => EngineError::Backend(other.to_string()),
+        }
+    }
+}
+
+impl From<pinsketch::PinSketchError> for EngineError {
+    fn from(e: pinsketch::PinSketchError) -> Self {
+        EngineError::Backend(e.to_string())
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, EngineError>;

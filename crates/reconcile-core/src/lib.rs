@@ -1,0 +1,45 @@
+//! # reconcile-core — one service layer over every reconciliation scheme
+//!
+//! The paper's evaluation (§7) compares Rateless IBLT against fixed-rate
+//! IBLTs, MET-IBLT, PinSketch and Merkle-trie healing *under identical
+//! protocol conditions*. This crate is the architectural counterpart of
+//! that claim: a single [`ReconcileBackend`] trait capturing both the
+//! rateless streaming flow and the fixed-size request/response flow, plus a
+//! transport-agnostic session engine ([`ClientEngine`] / [`ServerEngine`] /
+//! [`run_in_memory`]) that drives any backend over opaque byte messages.
+//!
+//! Higher layers — the `statesync` virtual-time driver, the experiment
+//! binaries, the examples — select schemes through this trait, so adding a
+//! transport (sharding, multi-peer fan-out, real sockets) is written once
+//! and works for every scheme.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use reconcile_core::{backends::RibltBackend, run_in_memory};
+//! use riblt::FixedBytes;
+//!
+//! type Item = FixedBytes<8>;
+//! let alice: Vec<Item> = (0..1_000u64).map(Item::from_u64).collect();
+//! let bob: Vec<Item> = (5..1_005u64).map(Item::from_u64).collect();
+//!
+//! let backend = RibltBackend::<Item>::new(8, 16);
+//! let report = run_in_memory(backend, &alice, &bob, 10_000).unwrap();
+//! assert_eq!(report.difference.remote_only.len(), 5);
+//! assert_eq!(report.difference.local_only.len(), 5);
+//! ```
+
+#![warn(missing_docs)]
+
+mod backend;
+pub mod backends;
+mod engine;
+mod error;
+pub mod wirefmt;
+
+pub use backend::{Progress, ReconcileBackend};
+pub use engine::{run_in_memory, ClientEngine, EngineMessage, RunReport, ServerEngine};
+pub use error::{EngineError, Result};
+
+/// Re-export of the difference type every backend emits.
+pub use riblt::SetDifference;

@@ -1,0 +1,272 @@
+//! Cross-backend conformance suite: every [`ReconcileBackend`] must agree
+//! on the symmetric difference of the same scenario matrix, driven through
+//! the same session engine.
+//!
+//! This is the executable form of the paper's "identical protocol
+//! conditions" comparison: scheme differences show up only in *cost*
+//! (units, bytes, rounds), never in the recovered difference.
+
+use std::collections::BTreeSet;
+
+use reconcile_core::backends::{
+    IbltBackend, IrregularRibltBackend, MetIbltBackend, PinSketchBackend, RibltBackend,
+};
+use reconcile_core::{run_in_memory, ReconcileBackend, RunReport};
+use riblt::FixedBytes;
+use riblt_hash::splitmix64;
+
+type Item = FixedBytes<8>;
+
+/// One reconciliation scenario: shared items plus per-side exclusives.
+#[derive(Debug, Clone, Copy)]
+struct Scenario {
+    name: &'static str,
+    shared: u64,
+    server_only: u64,
+    client_only: u64,
+    seed: u64,
+}
+
+/// The scenario matrix every backend must pass.
+const SCENARIOS: &[Scenario] = &[
+    Scenario {
+        name: "identical",
+        shared: 1_000,
+        server_only: 0,
+        client_only: 0,
+        seed: 0x11,
+    },
+    Scenario {
+        name: "tiny-diff",
+        shared: 2_000,
+        server_only: 3,
+        client_only: 2,
+        seed: 0x22,
+    },
+    Scenario {
+        name: "small-diff",
+        shared: 3_000,
+        server_only: 20,
+        client_only: 20,
+        seed: 0x33,
+    },
+    Scenario {
+        name: "one-sided",
+        shared: 1_500,
+        server_only: 40,
+        client_only: 0,
+        seed: 0x44,
+    },
+    Scenario {
+        name: "client-ahead",
+        shared: 1_500,
+        server_only: 0,
+        client_only: 40,
+        seed: 0x55,
+    },
+    Scenario {
+        name: "empty-client",
+        shared: 0,
+        server_only: 120,
+        client_only: 0,
+        seed: 0x66,
+    },
+    Scenario {
+        name: "empty-server",
+        shared: 0,
+        server_only: 0,
+        client_only: 120,
+        seed: 0x77,
+    },
+    Scenario {
+        name: "moderate-diff",
+        shared: 4_000,
+        server_only: 150,
+        client_only: 150,
+        seed: 0x88,
+    },
+];
+
+struct Sets {
+    server: Vec<Item>,
+    client: Vec<Item>,
+    expected_remote: BTreeSet<u64>,
+    expected_local: BTreeSet<u64>,
+}
+
+fn build_sets(s: Scenario) -> Sets {
+    let total = s.shared + s.server_only + s.client_only;
+    // Distinct non-zero values.
+    let universe: Vec<u64> = (0..total)
+        .map(|i| splitmix64(s.seed ^ (i + 1)) | 1)
+        .collect();
+    let shared = &universe[..s.shared as usize];
+    let server_excl = &universe[s.shared as usize..(s.shared + s.server_only) as usize];
+    let client_excl = &universe[(s.shared + s.server_only) as usize..];
+    let to_items = |v: &[u64]| -> Vec<Item> { v.iter().map(|&x| Item::from_u64(x)).collect() };
+    let mut server = to_items(shared);
+    server.extend(to_items(server_excl));
+    let mut client = to_items(shared);
+    client.extend(to_items(client_excl));
+    Sets {
+        server,
+        client,
+        expected_remote: server_excl.iter().copied().collect(),
+        expected_local: client_excl.iter().copied().collect(),
+    }
+}
+
+fn check<B>(backend: B, scenario: Scenario)
+where
+    B: ReconcileBackend<Item = Item> + Clone,
+{
+    let name = backend.name();
+    let sets = build_sets(scenario);
+    let report: RunReport<Item> = run_in_memory(backend, &sets.server, &sets.client, 1_000_000)
+        .unwrap_or_else(|e| panic!("{name} failed scenario {}: {e}", scenario.name));
+    let remote: BTreeSet<u64> = report
+        .difference
+        .remote_only
+        .iter()
+        .map(|s| s.to_u64())
+        .collect();
+    let local: BTreeSet<u64> = report
+        .difference
+        .local_only
+        .iter()
+        .map(|s| s.to_u64())
+        .collect();
+    assert_eq!(
+        remote, sets.expected_remote,
+        "{name}/{}: wrong remote_only",
+        scenario.name
+    );
+    assert_eq!(
+        local, sets.expected_local,
+        "{name}/{}: wrong local_only",
+        scenario.name
+    );
+    assert!(report.rounds >= 1);
+    assert!(report.bytes_to_server > 0);
+    assert!(report.bytes_to_client > 0);
+}
+
+#[test]
+fn riblt_backend_passes_the_matrix() {
+    for &s in SCENARIOS {
+        check(RibltBackend::<Item>::new(8, 16), s);
+    }
+}
+
+#[test]
+fn irregular_riblt_backend_passes_the_matrix() {
+    for &s in SCENARIOS {
+        check(IrregularRibltBackend::<Item>::new(8, 16), s);
+    }
+}
+
+#[test]
+fn iblt_backend_passes_the_matrix() {
+    for &s in SCENARIOS {
+        check(IbltBackend::<Item>::new(8), s);
+    }
+}
+
+#[test]
+fn met_iblt_backend_passes_the_matrix() {
+    for &s in SCENARIOS {
+        check(MetIbltBackend::<Item>::new(8), s);
+    }
+}
+
+#[test]
+fn pinsketch_backend_passes_the_matrix() {
+    for &s in SCENARIOS {
+        check(PinSketchBackend::new(8), s);
+    }
+}
+
+/// Backends honor a non-default checksum key end to end (both endpoints
+/// derive the same keyed hashes, so reconciliation still completes).
+#[test]
+fn non_default_keys_reconcile() {
+    use riblt_hash::SipKey;
+    let key = SipKey::new(0x5ec2e7, 0x4e1);
+    let scenario = Scenario {
+        name: "keyed",
+        shared: 1_000,
+        server_only: 15,
+        client_only: 15,
+        seed: 0xbb,
+    };
+    check(
+        RibltBackend::<Item>::with_key_and_alpha(8, 16, key, riblt::DEFAULT_ALPHA),
+        scenario,
+    );
+    let mut iblt = IbltBackend::<Item>::new(8);
+    iblt.key = key;
+    check(iblt, scenario);
+    check(
+        MetIbltBackend::<Item>::with_targets(8, met_iblt::DEFAULT_TARGETS.to_vec(), key),
+        scenario,
+    );
+}
+
+/// Streaming backends pay exactly one request round regardless of the
+/// difference size; interactive backends pay at least one round per
+/// escalation.
+#[test]
+fn flow_families_have_the_expected_round_shape() {
+    let sets = build_sets(Scenario {
+        name: "rounds",
+        shared: 3_000,
+        server_only: 100,
+        client_only: 100,
+        seed: 0x99,
+    });
+    let riblt = run_in_memory(
+        RibltBackend::<Item>::new(8, 16),
+        &sets.server,
+        &sets.client,
+        100_000,
+    )
+    .unwrap();
+    assert_eq!(riblt.rounds, 1, "rateless flow must not pay per-batch RTTs");
+
+    let met = run_in_memory(
+        MetIbltBackend::<Item>::new(8),
+        &sets.server,
+        &sets.client,
+        100_000,
+    )
+    .unwrap();
+    assert!(
+        met.rounds >= 2,
+        "d=200 exceeds the first MET rung, so several blocks are needed"
+    );
+}
+
+/// The engine reports scheme units consistently: for the rateless backend
+/// they are coded symbols, and overhead stays in the paper's envelope.
+#[test]
+fn rateless_overhead_is_within_the_paper_envelope() {
+    let sets = build_sets(Scenario {
+        name: "overhead",
+        shared: 10_000,
+        server_only: 100,
+        client_only: 100,
+        seed: 0xaa,
+    });
+    let report = run_in_memory(
+        RibltBackend::<Item>::new(8, 32),
+        &sets.server,
+        &sets.client,
+        100_000,
+    )
+    .unwrap();
+    let overhead = report.units as f64 / 200.0;
+    assert!(
+        overhead < 2.5,
+        "overhead {overhead:.2} far above the expected ≈1.35–1.7 for d=200"
+    );
+}

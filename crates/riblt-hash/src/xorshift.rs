@@ -19,7 +19,11 @@ impl XorShift64Star {
     /// constant because xorshift has an all-zero fixed point.
     #[inline]
     pub fn new(seed: u64) -> Self {
-        let state = if seed == 0 { 0x9e37_79b9_7f4a_7c15 } else { seed };
+        let state = if seed == 0 {
+            0x9e37_79b9_7f4a_7c15
+        } else {
+            seed
+        };
         XorShift64Star { state }
     }
 

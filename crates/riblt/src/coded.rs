@@ -208,7 +208,7 @@ mod tests {
 
         a.subtract(&b);
         assert_eq!(a.count, 0); // +1 (only_a) − 1 (only_b)
-        // Removing only_b and only_a should empty the cell.
+                                // Removing only_b and only_a should empty the cell.
         a.apply(&only_b, Direction::Add);
         a.apply(&only_a, Direction::Remove);
         assert!(a.is_empty_cell());

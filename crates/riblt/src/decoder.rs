@@ -137,6 +137,37 @@ impl<S: Symbol> Decoder<S> {
         Ok(())
     }
 
+    /// The mapping parameter α this decoder was built with (must match the
+    /// remote encoder's).
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Ingests a batch of coded symbols, stopping as soon as decoding
+    /// completes. Returns the number of symbols actually consumed.
+    ///
+    /// This is the preferred entry point for session layers moving wire
+    /// batches: it hoists the completion check out of the per-symbol hot
+    /// path and drops the remainder of a batch once the difference has been
+    /// recovered.
+    pub fn add_coded_symbols<I>(&mut self, symbols: I) -> usize
+    where
+        I: IntoIterator<Item = CodedSymbol<S>>,
+    {
+        let mut used = 0;
+        if self.is_decoded() {
+            return used;
+        }
+        for cs in symbols {
+            self.add_coded_symbol(cs);
+            used += 1;
+            if self.is_decoded() {
+                break;
+            }
+        }
+        used
+    }
+
     /// Ingests the next coded symbol from the remote encoder and peels as
     /// far as possible.
     pub fn add_coded_symbol(&mut self, mut cs: CodedSymbol<S>) {

@@ -52,7 +52,6 @@ impl<S: Symbol> CodingWindow<S> {
         self.key
     }
 
-    #[allow(dead_code)] // kept for parity with `key()`; used by future callers
     pub(crate) fn alpha(&self) -> f64 {
         self.alpha
     }
@@ -199,6 +198,14 @@ impl<S: Symbol> Encoder<S> {
         self.window.key()
     }
 
+    /// The mapping parameter α this encoder was built with. Session layers
+    /// use it to configure a matching [`crate::SymbolCodec`], so the wire
+    /// format's expected-count compression stays aligned with the actual
+    /// coded-symbol density.
+    pub fn alpha(&self) -> f64 {
+        self.window.alpha()
+    }
+
     /// Adds a source symbol to the set being encoded.
     ///
     /// Returns [`Error::SymbolAddedAfterEncodingStarted`] if coded symbols
@@ -324,14 +331,13 @@ mod tests {
         let mut enc = encoder_with(0..10_000);
         let symbols = enc.produce_coded_symbols(2_000);
         assert_eq!(symbols[0].count, 10_000);
-        let tail_avg: f64 = symbols[1_000..]
-            .iter()
-            .map(|c| c.count as f64)
-            .sum::<f64>()
-            / 1_000.0;
+        let tail_avg: f64 = symbols[1_000..].iter().map(|c| c.count as f64).sum::<f64>() / 1_000.0;
         // ρ(1500) ≈ 1/751 ⇒ about 13 of 10k symbols per cell.
         assert!(tail_avg < 40.0, "tail average count too high: {tail_avg}");
-        assert!(tail_avg > 2.0, "tail average count suspiciously low: {tail_avg}");
+        assert!(
+            tail_avg > 2.0,
+            "tail average count suspiciously low: {tail_avg}"
+        );
     }
 
     #[test]

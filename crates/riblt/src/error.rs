@@ -41,10 +41,9 @@ impl fmt::Display for Error {
                 f,
                 "source symbol added after the decoder started ingesting coded symbols"
             ),
-            Error::SketchShapeMismatch { left, right } => write!(
-                f,
-                "sketch shape mismatch: {left} vs {right} coded symbols"
-            ),
+            Error::SketchShapeMismatch { left, right } => {
+                write!(f, "sketch shape mismatch: {left} vs {right} coded symbols")
+            }
             Error::DecodeIncomplete => {
                 write!(f, "peeling stalled before recovering all source symbols")
             }

@@ -37,7 +37,11 @@ impl IrregularClasses {
     /// Creates a class configuration. `weights` must sum to ≈1 and match
     /// `alphas` in length; every α must be positive.
     pub fn new(weights: &[f64], alphas: &[f64]) -> Self {
-        assert_eq!(weights.len(), alphas.len(), "weights/alphas length mismatch");
+        assert_eq!(
+            weights.len(),
+            alphas.len(),
+            "weights/alphas length mismatch"
+        );
         assert!(!weights.is_empty(), "at least one class is required");
         let total: f64 = weights.iter().sum();
         assert!(
@@ -293,11 +297,21 @@ impl<S: Symbol> IrregularEncoder<S> {
         Ok(())
     }
 
+    /// Index of the next coded symbol to be produced.
+    pub fn next_index(&self) -> u64 {
+        self.window.next_index()
+    }
+
     /// Produces the next coded symbol of the infinite sequence.
     pub fn produce_next_coded_symbol(&mut self) -> CodedSymbol<S> {
         let mut cs = CodedSymbol::new();
         self.window.apply_next(&mut cs, Direction::Add);
         cs
+    }
+
+    /// Produces the next `n` coded symbols.
+    pub fn produce_coded_symbols(&mut self, n: usize) -> Vec<CodedSymbol<S>> {
+        (0..n).map(|_| self.produce_next_coded_symbol()).collect()
     }
 }
 
@@ -354,6 +368,26 @@ impl<S: Symbol> IrregularDecoder<S> {
         let alpha = self.classes.alpha_of(hashed.hash);
         self.local_set.push_fresh_with_alpha(hashed, alpha);
         Ok(())
+    }
+
+    /// Ingests a batch of coded symbols, stopping once decoding completes.
+    /// Returns the number of symbols actually consumed.
+    pub fn add_coded_symbols<I>(&mut self, symbols: I) -> usize
+    where
+        I: IntoIterator<Item = CodedSymbol<S>>,
+    {
+        let mut used = 0;
+        if self.is_decoded() {
+            return used;
+        }
+        for cs in symbols {
+            self.add_coded_symbol(cs);
+            used += 1;
+            if self.is_decoded() {
+                break;
+            }
+        }
+        used
     }
 
     /// Ingests one coded symbol and peels as far as possible.

@@ -51,8 +51,11 @@
 //! * [`irregular`] — the Irregular Rateless IBLT extension (paper §8).
 //! * [`wire`] — the byte-level wire format with compressed `count` fields
 //!   (paper §6).
-//! * [`session`] — a small state machine driving a full reconciliation
-//!   session over any message transport.
+//!
+//! Full reconciliation *sessions* (request/stream/stop over an arbitrary
+//! message transport) are driven by the scheme-agnostic engine in the
+//! `reconcile-core` crate, which plugs this crate in through its
+//! `ReconcileBackend` trait.
 
 #![warn(missing_docs)]
 
@@ -62,7 +65,6 @@ pub mod encoder;
 pub mod error;
 pub mod irregular;
 pub mod mapping;
-pub mod session;
 pub mod sketch;
 pub mod symbol;
 pub mod wire;
@@ -73,7 +75,6 @@ pub use encoder::Encoder;
 pub use error::{Error, Result};
 pub use irregular::{IrregularClasses, IrregularDecoder, IrregularEncoder, IrregularSketch};
 pub use mapping::{rho, IndexMapping, DEFAULT_ALPHA};
-pub use session::{run_in_memory, ReceiverSession, ReconcileRole, SenderSession, SessionMessage};
 pub use sketch::{Sketch, SketchCache};
 pub use symbol::{FixedBytes, HashedSymbol, Symbol, VecSymbol};
 pub use wire::{decode_coded_symbols, encode_coded_symbols, SymbolCodec};

@@ -391,7 +391,10 @@ mod tests {
         let b = Sketch::<Sym>::new(20);
         assert!(matches!(
             a.subtracted(&b),
-            Err(Error::SketchShapeMismatch { left: 10, right: 20 })
+            Err(Error::SketchShapeMismatch {
+                left: 10,
+                right: 20
+            })
         ));
     }
 

@@ -41,9 +41,7 @@ pub fn read_vlq(bytes: &[u8], pos: &mut usize) -> Result<u64> {
     let mut value: u64 = 0;
     let mut shift = 0u32;
     loop {
-        let byte = *bytes
-            .get(*pos)
-            .ok_or(Error::WireFormat("truncated VLQ"))?;
+        let byte = *bytes.get(*pos).ok_or(Error::WireFormat("truncated VLQ"))?;
         *pos += 1;
         if shift >= 64 {
             return Err(Error::WireFormat("VLQ overflows 64 bits"));
@@ -91,10 +89,17 @@ impl SymbolCodec {
     /// Creates a codec for `symbol_len`-byte symbols of a `set_size`-item
     /// set using the default α.
     pub fn new(symbol_len: usize, set_size: u64) -> Self {
+        Self::with_alpha(symbol_len, set_size, crate::mapping::DEFAULT_ALPHA)
+    }
+
+    /// Creates a codec with an explicit mapping parameter α (must match the
+    /// encoder that produced the coded symbols — see
+    /// [`crate::Encoder::alpha`]).
+    pub fn with_alpha(symbol_len: usize, set_size: u64, alpha: f64) -> Self {
         SymbolCodec {
             symbol_len,
             set_size,
-            alpha: crate::mapping::DEFAULT_ALPHA,
+            alpha,
         }
     }
 
@@ -105,13 +110,8 @@ impl SymbolCodec {
     /// VLQ(start_index), VLQ(batch_len), then per symbol:
     /// `sum` (symbol_len bytes) · `checksum` (8 bytes LE) ·
     /// zig-zag VLQ(count − expected_count).
-    pub fn encode_batch<S: Symbol>(
-        &self,
-        symbols: &[CodedSymbol<S>],
-        start_index: u64,
-    ) -> Vec<u8> {
-        let mut out =
-            Vec::with_capacity(24 + symbols.len() * (self.symbol_len + 9));
+    pub fn encode_batch<S: Symbol>(&self, symbols: &[CodedSymbol<S>], start_index: u64) -> Vec<u8> {
+        let mut out = Vec::with_capacity(24 + symbols.len() * (self.symbol_len + 9));
         out.extend_from_slice(&MAGIC);
         out.push(VERSION);
         write_vlq(&mut out, self.symbol_len as u64);
@@ -124,7 +124,7 @@ impl SymbolCodec {
             if sum_bytes.is_empty() {
                 // Empty cells of variable-length symbol types have no width
                 // yet; transmit an all-zero sum of the declared length.
-                out.extend(std::iter::repeat(0u8).take(self.symbol_len));
+                out.extend(std::iter::repeat_n(0u8, self.symbol_len));
             } else {
                 debug_assert_eq!(sum_bytes.len(), self.symbol_len);
                 out.extend_from_slice(sum_bytes);
@@ -159,6 +159,12 @@ impl SymbolCodec {
         let set_size = read_vlq(bytes, &mut pos)?;
         let start_index = read_vlq(bytes, &mut pos)?;
         let batch_len = read_vlq(bytes, &mut pos)? as usize;
+        // Each symbol needs at least sum + checksum + 1 count byte; a batch
+        // length beyond that is corrupt, and rejecting it here also bounds
+        // the allocation below.
+        if batch_len > (bytes.len() - pos) / (symbol_len + 9) + 1 {
+            return Err(Error::WireFormat("implausible batch length"));
+        }
         let mut symbols = Vec::with_capacity(batch_len);
         for offset in 0..batch_len {
             let index = start_index + offset as u64;
@@ -255,7 +261,17 @@ mod tests {
 
     #[test]
     fn vlq_roundtrip() {
-        let values = [0u64, 1, 127, 128, 300, 16_383, 16_384, u32::MAX as u64, u64::MAX];
+        let values = [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX,
+        ];
         for v in values {
             let mut buf = Vec::new();
             write_vlq(&mut buf, v);
@@ -277,7 +293,17 @@ mod tests {
 
     #[test]
     fn zigzag_roundtrip() {
-        for v in [-1_000_000i64, -2, -1, 0, 1, 2, 1_000_000, i64::MIN, i64::MAX] {
+        for v in [
+            -1_000_000i64,
+            -2,
+            -1,
+            0,
+            1,
+            2,
+            1_000_000,
+            i64::MIN,
+            i64::MAX,
+        ] {
             assert_eq!(zigzag_decode(zigzag_encode(v)), v);
         }
         // Small magnitudes map to small codes.

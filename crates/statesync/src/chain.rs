@@ -118,7 +118,10 @@ impl Chain {
 
     /// Materializes the ledger as of `block` blocks applied (0 = genesis).
     pub fn snapshot_at(&self, block: usize) -> Ledger {
-        assert!(block <= self.updates.len(), "snapshot beyond generated chain");
+        assert!(
+            block <= self.updates.len(),
+            "snapshot beyond generated chain"
+        );
         let mut ledger = Ledger::genesis(self.config.genesis_accounts);
         for update in &self.updates[..block] {
             for &(idx, version) in &update.modified {

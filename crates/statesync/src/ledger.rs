@@ -49,7 +49,7 @@ pub fn split_item(item: &LedgerItem) -> (Address, AccountState) {
 
 /// Deterministically generates the address of the `index`-th account.
 pub fn synth_address(index: u64) -> Address {
-    let mut g = SplitMix64::new(index.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0xadd2_e55);
+    let mut g = SplitMix64::new(index.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0x0add_2e55);
     let mut a = [0u8; ADDRESS_LEN];
     g.fill_bytes(&mut a);
     a
@@ -230,6 +230,10 @@ mod tests {
     #[test]
     fn addresses_are_distinct() {
         let a = Ledger::genesis(10_000);
-        assert_eq!(a.len(), 10_000, "synthetic addresses must not collide at this scale");
+        assert_eq!(
+            a.len(),
+            10_000,
+            "synthetic addresses must not collide at this scale"
+        );
     }
 }

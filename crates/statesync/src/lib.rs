@@ -2,26 +2,30 @@
 //!
 //! This crate ties the workspace together into the paper's application
 //! experiment: a synthetic Ethereum-like ledger ([`Ledger`], [`Chain`]),
-//! synchronized between a stale and an up-to-date replica either with
-//! Rateless IBLT ([`sync_with_riblt`]) or with Merkle-trie state heal
-//! ([`sync_with_heal`]), over a deterministic simulated link. Both drivers
-//! fold real measured CPU time into the virtual clock and report a
-//! [`SyncOutcome`] with completion time, byte counts, round counts and a
-//! bandwidth trace.
+//! synchronized between a stale and an up-to-date replica over a
+//! deterministic simulated link by **any** reconciliation scheme that
+//! implements `reconcile_core::ReconcileBackend` — Rateless IBLT
+//! ([`sync_with_riblt`]), Merkle-trie state heal ([`sync_with_heal`],
+//! via [`HealBackend`]), or any other backend through the generic
+//! [`sync_with_backend`] driver. The driver folds real measured CPU time
+//! into the virtual clock and reports a [`SyncOutcome`] with completion
+//! time, byte counts, round counts and a bandwidth trace.
 
 #![warn(missing_docs)]
 
 pub mod chain;
-pub mod heal_sync;
+pub mod heal_backend;
 pub mod ledger;
 pub mod metrics;
-pub mod riblt_sync;
+pub mod sync;
 
 pub use chain::{BlockUpdate, Chain, ChainConfig};
-pub use heal_sync::{sync_with_heal, HealSyncConfig};
+pub use heal_backend::HealBackend;
 pub use ledger::{
     ledger_item, split_item, synth_account, synth_address, AccountState, Address, Ledger,
     LedgerItem, ACCOUNT_LEN, ADDRESS_LEN, ITEM_LEN,
 };
 pub use metrics::SyncOutcome;
-pub use riblt_sync::{sync_with_riblt, RibltSyncConfig};
+pub use sync::{
+    sync_with_backend, sync_with_heal, sync_with_riblt, HealSyncConfig, RibltSyncConfig, SyncConfig,
+};

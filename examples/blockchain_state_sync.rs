@@ -7,43 +7,60 @@
 //! TCP port. A "stale replica" (Bob) holds a snapshot from 50 blocks ago,
 //! connects, receives a stream of coded symbols, decodes the difference,
 //! applies it, and verifies that its Merkle root now matches Alice's.
+//!
+//! Both endpoints are the generic session engine from `reconcile-core` with
+//! the Rateless IBLT backend plugged in; TCP only moves its opaque frames.
+//! The serve loop below implements the *streaming* flow (push payloads,
+//! poll for a stop frame), so `RibltBackend` is swappable for any other
+//! streaming backend (e.g. `IrregularRibltBackend`) without further
+//! changes; interactive backends (MET-IBLT, IBLT + estimator) would need a
+//! request/response loop that answers `EngineMessage::Request` frames
+//! instead.
 
 use std::net::{TcpListener, TcpStream};
 use std::thread;
 
 use netsim::{read_frame, write_frame};
-use riblt::{Decoder, Encoder, SymbolCodec};
+use reconcile_core::backends::RibltBackend;
+use reconcile_core::{ClientEngine, EngineMessage, ServerEngine};
 use statesync::{Chain, ChainConfig, Ledger, LedgerItem, ITEM_LEN};
 
 const BATCH_SYMBOLS: usize = 64;
 
+fn backend() -> RibltBackend<LedgerItem> {
+    RibltBackend::new(ITEM_LEN, BATCH_SYMBOLS)
+}
+
 fn serve(listener: TcpListener, latest: Ledger) {
     let (mut conn, peer) = listener.accept().expect("accept");
     println!("[alice] replica connected from {peer}");
-    // Wait for the sync request, then stream coded symbols until the
-    // replica closes the connection (or sends the 1-byte stop message).
-    let _request = read_frame(&mut conn).expect("request");
-    let mut encoder = Encoder::<LedgerItem>::new();
-    for item in latest.items() {
-        encoder.add_symbol(item).unwrap();
-    }
-    let codec = SymbolCodec::new(ITEM_LEN, latest.len() as u64);
-    let mut sent = 0usize;
+    let mut engine = ServerEngine::new(backend(), &latest.items());
+
+    // Wait for the opening request, then stream coded symbols until the
+    // replica signals completion (or closes the connection).
+    let open = EngineMessage::from_frame(&read_frame(&mut conn).expect("open frame"))
+        .expect("well-formed open");
+    let mut next = engine.handle(&open).expect("serve").expect("first payload");
+    let mut sent_batches = 0usize;
     loop {
-        let start = encoder.next_index();
-        let batch = encoder.produce_coded_symbols(BATCH_SYMBOLS);
-        let payload = codec.encode_batch(&batch, start);
-        if write_frame(&mut conn, &payload).is_err() {
+        if write_frame(&mut conn, &next.to_frame()).is_err() {
             break; // peer closed: it decoded everything it needed
         }
-        sent += BATCH_SYMBOLS;
+        sent_batches += 1;
         // Check for a stop message without blocking the stream.
         conn.set_nonblocking(true).unwrap();
-        if read_frame(&mut conn).is_ok() {
-            println!("[alice] replica signalled completion after {sent} coded symbols");
-            break;
+        if let Ok(frame) = read_frame(&mut conn) {
+            if let Ok(msg @ EngineMessage::Done) = EngineMessage::from_frame(&frame) {
+                engine.handle(&msg).expect("done");
+                println!(
+                    "[alice] replica signalled completion after {} coded symbols",
+                    sent_batches * BATCH_SYMBOLS
+                );
+                break;
+            }
         }
         conn.set_nonblocking(false).unwrap();
+        next = engine.next_payload().expect("stream");
     }
 }
 
@@ -72,30 +89,21 @@ fn main() {
 
     // --- Bob, the stale replica -------------------------------------------
     let mut conn = TcpStream::connect(addr).expect("connect");
-    write_frame(&mut conn, b"sync please").unwrap();
-    let mut decoder = Decoder::<LedgerItem>::new();
-    for item in stale.items() {
-        decoder.add_symbol(item).unwrap();
-    }
-    let codec = SymbolCodec::new(ITEM_LEN, 0);
-    let mut received_symbols = 0usize;
+    let mut engine = ClientEngine::new(backend(), &stale.items());
+    write_frame(&mut conn, &engine.open().to_frame()).unwrap();
     let mut received_bytes = 0usize;
-    while !decoder.is_decoded() {
-        let payload = read_frame(&mut conn).expect("coded symbol batch");
-        received_bytes += payload.len();
-        let batch = codec.decode_batch::<LedgerItem>(&payload).expect("batch");
-        for cs in batch.symbols {
-            if decoder.is_decoded() {
-                break;
-            }
-            decoder.add_coded_symbol(cs);
-            received_symbols += 1;
+    while !engine.is_done() {
+        let frame = read_frame(&mut conn).expect("coded symbol batch");
+        received_bytes += frame.len();
+        let payload = EngineMessage::from_frame(&frame).expect("well-formed payload");
+        if let Some(reply) = engine.handle(&payload).expect("absorb") {
+            let _ = write_frame(&mut conn, &reply.to_frame());
         }
     }
-    let _ = write_frame(&mut conn, b"done");
+    let received_symbols = engine.units();
     drop(conn);
 
-    let diff = decoder.into_difference();
+    let diff = engine.into_difference().expect("complete difference");
     let mut updated = stale.clone();
     updated.apply_items(&diff.remote_only);
     let new_root = updated.to_trie().root();

@@ -4,14 +4,17 @@
 //!
 //! Two replicas accept writes independently (here: disjoint batches of
 //! updates, as during a network partition) and periodically run a
-//! reconciliation round using the session API. Each record is serialized to
-//! a fixed-width item (16-byte key, 48-byte value, 8-byte version); the
-//! replica with the higher version wins, so reconciliation converges both
-//! stores to the same state.
+//! reconciliation round through the generic session engine with the
+//! Rateless IBLT backend. Each record is serialized to a fixed-width item
+//! (16-byte key, 48-byte value, 8-byte version); the replica with the
+//! higher version wins, so reconciliation converges both stores to the same
+//! state.
 
 use std::collections::BTreeMap;
 
-use riblt::{run_in_memory, FixedBytes, ReceiverSession, SenderSession};
+use reconcile_core::backends::RibltBackend;
+use reconcile_core::run_in_memory;
+use riblt::FixedBytes;
 use riblt_hash::SplitMix64;
 
 const KEY_LEN: usize = 16;
@@ -92,15 +95,18 @@ fn main() {
         replica_b.len()
     );
 
-    // Anti-entropy round 1: A pushes to B.
-    let sender = SenderSession::new(items(&replica_a), RECORD_LEN, 32);
-    let receiver = ReceiverSession::new(items(&replica_b), RECORD_LEN);
-    let (diff, symbols, bytes) = run_in_memory(sender, receiver, 100_000).expect("reconcile");
+    // Anti-entropy round 1: A serves, B reconciles.
+    let backend = RibltBackend::<Record>::new(RECORD_LEN, 32);
+    let report =
+        run_in_memory(backend, &items(&replica_a), &items(&replica_b), 100_000).expect("reconcile");
+    let diff = report.difference;
     println!(
         "[round 1] B learned {} records, sent back knowledge of {} records \
-         ({symbols} coded symbols, {bytes} bytes on the wire)",
+         ({} coded symbols, {} bytes on the wire)",
         diff.remote_only.len(),
-        diff.local_only.len()
+        diff.local_only.len(),
+        report.units,
+        report.bytes_to_client + report.bytes_to_server,
     );
     apply_remote(&mut replica_b, &diff.remote_only);
     // B now also knows exactly which records A is missing and pushes them.

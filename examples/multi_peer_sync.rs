@@ -42,8 +42,14 @@ fn main() {
             set.extend((1_000_000..1_000_100).map(item));
             set
         }),
-        ("peer-stale (the 200-item update)", (0..50_000).map(item).collect()),
-        ("peer-tiny (knows only half the set)", (25_000..50_000).map(item).collect()),
+        (
+            "peer-stale (the 200-item update)",
+            (0..50_000).map(item).collect(),
+        ),
+        (
+            "peer-tiny (knows only half the set)",
+            (25_000..50_000).map(item).collect(),
+        ),
     ];
 
     for (name, set) in peers {

@@ -51,8 +51,10 @@ fn main() {
 
     // --- Sketch API --------------------------------------------------------
     // A fixed-size sketch is convenient when the application wants a single
-    // message; 64 coded symbols comfortably cover the 35 differences here.
-    let m = 64;
+    // message; peeling wants ≈1.35–2× headroom over the difference, and a
+    // fixed sketch cannot be extended, so size generously: 128 coded symbols
+    // for the 35 differences here.
+    let m = 128;
     let sketch_a = Sketch::from_set(m, alice_set.iter());
     let sketch_b = Sketch::from_set(m, bob_set.iter());
     let diff = sketch_a.subtracted(&sketch_b).unwrap().decode().unwrap();

@@ -11,6 +11,7 @@ pub use merkle_trie;
 pub use met_iblt;
 pub use netsim;
 pub use pinsketch;
+pub use reconcile_core;
 pub use riblt;
 pub use riblt_hash;
 pub use statesync;

@@ -7,9 +7,9 @@ use std::collections::BTreeSet;
 use rateless_reconciliation::iblt::Iblt;
 use rateless_reconciliation::met_iblt::MetIblt;
 use rateless_reconciliation::pinsketch::PinSketch;
-use rateless_reconciliation::riblt::{
-    run_in_memory, Decoder, Encoder, FixedBytes, ReceiverSession, SenderSession, SipKey, Sketch,
-};
+use rateless_reconciliation::reconcile_core::backends::RibltBackend;
+use rateless_reconciliation::reconcile_core::run_in_memory;
+use rateless_reconciliation::riblt::{Decoder, Encoder, FixedBytes, SipKey, Sketch};
 use rateless_reconciliation::riblt_hash::splitmix64;
 
 type Item = FixedBytes<8>;
@@ -18,8 +18,14 @@ type Item = FixedBytes<8>;
 /// elements (`d` exclusive to each side); returns the expected difference.
 fn sets(n: u64, d: u64, seed: u64) -> (Vec<Item>, Vec<Item>, BTreeSet<u64>) {
     let universe: Vec<u64> = (0..n + d).map(|i| splitmix64(seed ^ i) | 1).collect();
-    let alice: Vec<Item> = universe[..n as usize].iter().map(|&v| Item::from_u64(v)).collect();
-    let bob: Vec<Item> = universe[d as usize..].iter().map(|&v| Item::from_u64(v)).collect();
+    let alice: Vec<Item> = universe[..n as usize]
+        .iter()
+        .map(|&v| Item::from_u64(v))
+        .collect();
+    let bob: Vec<Item> = universe[d as usize..]
+        .iter()
+        .map(|&v| Item::from_u64(v))
+        .collect();
     let expected: BTreeSet<u64> = universe[..d as usize]
         .iter()
         .chain(universe[n as usize..].iter())
@@ -57,7 +63,10 @@ fn all_schemes_agree_on_the_difference() {
     // Rateless IBLT (sketch).
     let sa = Sketch::from_set(256, alice.iter());
     let sb = Sketch::from_set(256, bob.iter());
-    assert_eq!(as_set(&sa.subtracted(&sb).unwrap().decode().unwrap()), expected);
+    assert_eq!(
+        as_set(&sa.subtracted(&sb).unwrap().decode().unwrap()),
+        expected
+    );
 
     // Regular IBLT.
     let ta = Iblt::from_set(240, 4, alice.iter());
@@ -76,21 +85,30 @@ fn all_schemes_agree_on_the_difference() {
     // PinSketch.
     let pa = PinSketch::from_set(160, alice.iter().map(|i| i.to_u64())).unwrap();
     let pb = PinSketch::from_set(160, bob.iter().map(|i| i.to_u64())).unwrap();
-    let got: BTreeSet<u64> = pa.merged(&pb).unwrap().decode().unwrap().into_iter().collect();
+    let got: BTreeSet<u64> = pa
+        .merged(&pb)
+        .unwrap()
+        .decode()
+        .unwrap()
+        .into_iter()
+        .collect();
     assert_eq!(got, expected);
 }
 
 #[test]
 fn session_over_wire_format_reconciles_large_difference() {
     let (alice, bob, expected) = sets(20_000, 1_500, 0x5e5);
-    let sender = SenderSession::new(alice, 8, 64);
-    let receiver = ReceiverSession::new(bob, 8);
-    let (diff, symbols, bytes) = run_in_memory(sender, receiver, 1_000_000).unwrap();
-    assert_eq!(as_set(&diff), expected);
+    let backend = RibltBackend::<Item>::new(8, 64);
+    let report = run_in_memory(backend, &alice, &bob, 1_000_000).unwrap();
+    assert_eq!(as_set(&report.difference), expected);
     // The symmetric difference has 2 * 1,500 = 3,000 items.
-    let overhead = symbols as f64 / 3_000.0;
-    assert!(overhead < 2.0, "overhead {overhead:.2} too high for d = 3000");
-    assert!(bytes > 0);
+    let overhead = report.units as f64 / 3_000.0;
+    assert!(
+        overhead < 2.0,
+        "overhead {overhead:.2} too high for d = 3000"
+    );
+    assert!(report.bytes_to_client > 0);
+    assert_eq!(report.rounds, 1, "the rateless flow pays a single request");
 }
 
 #[test]

@@ -1,15 +1,33 @@
-//! Property-based tests (proptest) of the workspace's core invariants.
+//! Property-based tests of the workspace's core invariants.
+//!
+//! The build environment has no third-party property-testing crate, so the
+//! harness is hand-rolled: each property runs over a few dozen cases drawn
+//! from a deterministic `SplitMix64` stream (reproducible by construction —
+//! a failing case prints its seed).
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
-use proptest::prelude::*;
 use rateless_reconciliation::merkle_trie::MerkleTrie;
 use rateless_reconciliation::pinsketch::PinSketch;
+use rateless_reconciliation::riblt::wire::SymbolCodec;
 use rateless_reconciliation::riblt::{
-    decode_coded_symbols, encode_coded_symbols, Decoder, Encoder, FixedBytes, Sketch,
+    decode_coded_symbols, encode_coded_symbols, CodedSymbol, Decoder, Encoder, Error, FixedBytes,
+    Sketch,
 };
+use rateless_reconciliation::riblt_hash::SplitMix64;
 
 type Item = FixedBytes<8>;
+
+/// Draws a random set of `0..max_len` values in `1..bound`.
+fn random_set(gen: &mut SplitMix64, bound: u64, max_len: usize) -> BTreeSet<u64> {
+    let len = (gen.next_u64() as usize) % max_len;
+    let mut out = BTreeSet::new();
+    while out.len() < len {
+        let v = 1 + gen.next_u64() % (bound - 1);
+        out.insert(v);
+    }
+    out
+}
 
 fn to_items(values: &BTreeSet<u64>) -> Vec<Item> {
     values.iter().map(|&v| Item::from_u64(v)).collect()
@@ -19,16 +37,14 @@ fn symmetric_difference(a: &BTreeSet<u64>, b: &BTreeSet<u64>) -> BTreeSet<u64> {
     a.symmetric_difference(b).copied().collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// The streaming protocol recovers exactly the symmetric difference for
-    /// arbitrary sets (and always terminates within a generous budget).
-    #[test]
-    fn streaming_recovers_exact_symmetric_difference(
-        a in prop::collection::btree_set(1u64..1_000_000, 0..300),
-        b in prop::collection::btree_set(1u64..1_000_000, 0..300),
-    ) {
+/// The streaming protocol recovers exactly the symmetric difference for
+/// arbitrary sets (and always terminates within a generous budget).
+#[test]
+fn streaming_recovers_exact_symmetric_difference() {
+    for case in 0..24u64 {
+        let mut gen = SplitMix64::new(0x51ea4 + case);
+        let a = random_set(&mut gen, 1_000_000, 300);
+        let b = random_set(&mut gen, 1_000_000, 300);
         let expected = symmetric_difference(&a, &b);
         let mut enc = Encoder::<Item>::new();
         for x in to_items(&a) {
@@ -42,7 +58,10 @@ proptest! {
         while !dec.is_decoded() {
             dec.add_coded_symbol(enc.produce_next_coded_symbol());
             used += 1;
-            prop_assert!(used < 40 * expected.len().max(4), "failed to converge");
+            assert!(
+                used < 40 * expected.len().max(4),
+                "case {case}: failed to converge"
+            );
         }
         let diff = dec.into_difference();
         let got: BTreeSet<u64> = diff
@@ -51,43 +70,49 @@ proptest! {
             .chain(diff.local_only.iter())
             .map(|s| s.to_u64())
             .collect();
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected, "case {case}");
         // Side attribution must also be exact.
         let remote: BTreeSet<u64> = diff.remote_only.iter().map(|s| s.to_u64()).collect();
         let expected_remote: BTreeSet<u64> = a.difference(&b).copied().collect();
-        prop_assert_eq!(remote, expected_remote);
+        assert_eq!(remote, expected_remote, "case {case}");
     }
+}
 
-    /// Sketch subtraction is linear: sketch(A) ⊖ sketch(B) decodes A △ B, no
-    /// matter how the sets overlap, whenever the sketch is large enough.
-    #[test]
-    fn sketch_linearity(
-        a in prop::collection::btree_set(1u64..100_000, 0..120),
-        b in prop::collection::btree_set(1u64..100_000, 0..120),
-    ) {
+/// Sketch subtraction is linear: sketch(A) ⊖ sketch(B) decodes A △ B, no
+/// matter how the sets overlap, whenever the sketch is large enough.
+#[test]
+fn sketch_linearity() {
+    for case in 0..24u64 {
+        let mut gen = SplitMix64::new(0x5ce7c + case);
+        let a = random_set(&mut gen, 100_000, 120);
+        let b = random_set(&mut gen, 100_000, 120);
         let expected = symmetric_difference(&a, &b);
         let m = 4 * expected.len().max(8);
         let sa = Sketch::from_set(m, to_items(&a).iter());
         let sb = Sketch::from_set(m, to_items(&b).iter());
-        let decoded = sa.subtracted(&sb).unwrap().decode();
         // With 4x overhead failure is negligible; treat it as a bug.
-        let diff = decoded.expect("sketch with 4x overhead must decode");
+        let diff = sa
+            .subtracted(&sb)
+            .unwrap()
+            .decode()
+            .expect("sketch with 4x overhead must decode");
         let got: BTreeSet<u64> = diff
             .remote_only
             .iter()
             .chain(diff.local_only.iter())
             .map(|s| s.to_u64())
             .collect();
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected, "case {case}");
     }
+}
 
-    /// Wire-format round trip is lossless for arbitrary coded-symbol
-    /// prefixes.
-    #[test]
-    fn wire_roundtrip(
-        values in prop::collection::btree_set(1u64..u64::MAX, 0..200),
-        prefix in 1usize..256,
-    ) {
+/// Wire-format round trip is lossless for arbitrary coded-symbol prefixes.
+#[test]
+fn wire_roundtrip() {
+    for case in 0..24u64 {
+        let mut gen = SplitMix64::new(0x31e + case);
+        let values = random_set(&mut gen, u64::MAX, 200);
+        let prefix = 1 + (gen.next_u64() as usize) % 255;
         let mut enc = Encoder::<Item>::new();
         for x in to_items(&values) {
             enc.add_symbol(x).unwrap();
@@ -95,16 +120,98 @@ proptest! {
         let symbols = enc.produce_coded_symbols(prefix);
         let bytes = encode_coded_symbols(&symbols, 8, values.len() as u64);
         let back = decode_coded_symbols::<Item>(&bytes, 8).unwrap();
-        prop_assert_eq!(back, symbols);
+        assert_eq!(back, symbols, "case {case}");
+    }
+}
+
+/// Round trip through [`SymbolCodec`] is lossless for *synthetic* coded
+/// symbols with arbitrary counts, checksums and sums — not just prefixes an
+/// encoder would produce — at arbitrary start indices and set sizes.
+#[test]
+fn wire_roundtrip_arbitrary_counts_and_sums() {
+    for case in 0..40u64 {
+        let mut gen = SplitMix64::new(0xc0de + case);
+        let set_size = gen.next_u64() % 2_000_000;
+        let start_index = gen.next_u64() % 100_000;
+        let batch_len = (gen.next_u64() as usize) % 64;
+        let symbols: Vec<CodedSymbol<Item>> = (0..batch_len)
+            .map(|_| {
+                let mut sum = [0u8; 8];
+                gen.fill_bytes(&mut sum);
+                CodedSymbol {
+                    sum: FixedBytes(sum),
+                    checksum: gen.next_u64(),
+                    // Counts far away from the expected model must still
+                    // round-trip (they only cost longer VLQs).
+                    count: (gen.next_u64() as i64) % 1_000_000,
+                }
+            })
+            .collect();
+        let codec = SymbolCodec::new(8, set_size);
+        let bytes = codec.encode_batch(&symbols, start_index);
+        let decoded = codec.decode_batch::<Item>(&bytes).unwrap();
+        assert_eq!(decoded.symbols, symbols, "case {case}");
+        assert_eq!(decoded.start_index, start_index, "case {case}");
+        assert_eq!(decoded.set_size, set_size, "case {case}");
+    }
+}
+
+/// Truncating or corrupting a wire batch must yield `Error::WireFormat` (or
+/// decode to different symbols) — never a panic.
+#[test]
+fn wire_truncation_and_corruption_never_panic() {
+    let mut gen = SplitMix64::new(0xbad5eed);
+    let values = random_set(&mut gen, u64::MAX, 150);
+    let mut enc = Encoder::<Item>::new();
+    for x in to_items(&values) {
+        enc.add_symbol(x).unwrap();
+    }
+    let symbols = enc.produce_coded_symbols(64);
+    let codec = SymbolCodec::new(8, values.len() as u64);
+    let bytes = codec.encode_batch(&symbols, 0);
+
+    // Every possible truncation point.
+    for cut in 0..bytes.len() {
+        match codec.decode_batch::<Item>(&bytes[..cut]) {
+            Err(Error::WireFormat(_)) => {}
+            Err(other) => panic!("truncation at {cut} produced non-wire error {other:?}"),
+            // A cut can still parse when the (truncated) VLQ batch length
+            // happens to cover fewer symbols than were encoded; that is a
+            // shorter, well-formed batch, not a safety violation.
+            Ok(decoded) => assert!(decoded.symbols.len() <= symbols.len()),
+        }
     }
 
-    /// PinSketch with capacity ≥ d recovers the exact difference of two
-    /// non-zero element sets.
-    #[test]
-    fn pinsketch_exact_recovery(
-        a in prop::collection::btree_set(1u64..u64::MAX, 0..40),
-        b in prop::collection::btree_set(1u64..u64::MAX, 0..40),
-    ) {
+    // Random single-byte corruptions: must never panic; when decoding
+    // "succeeds" the bytes were still structurally valid.
+    for _ in 0..500 {
+        let mut corrupted = bytes.clone();
+        let pos = (gen.next_u64() as usize) % corrupted.len();
+        let flip = (gen.next_u64() % 255) as u8 + 1;
+        corrupted[pos] ^= flip;
+        match codec.decode_batch::<Item>(&corrupted) {
+            Ok(_) => {}
+            Err(Error::WireFormat(_)) => {}
+            Err(other) => panic!("corruption at {pos} produced non-wire error {other:?}"),
+        }
+    }
+
+    // Garbage prefixes of every length.
+    for len in 0..64 {
+        let mut garbage = vec![0u8; len];
+        gen.fill_bytes(&mut garbage);
+        let _ = codec.decode_batch::<Item>(&garbage);
+    }
+}
+
+/// PinSketch with capacity ≥ d recovers the exact difference of two
+/// non-zero element sets.
+#[test]
+fn pinsketch_exact_recovery() {
+    for case in 0..24u64 {
+        let mut gen = SplitMix64::new(0x9145 + case);
+        let a = random_set(&mut gen, u64::MAX, 40);
+        let b = random_set(&mut gen, u64::MAX, 40);
         let expected = symmetric_difference(&a, &b);
         let capacity = expected.len().max(1);
         let pa = PinSketch::from_set(capacity, a.iter().copied()).unwrap();
@@ -116,19 +223,26 @@ proptest! {
             .expect("capacity >= difference must decode")
             .into_iter()
             .collect();
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected, "case {case}");
     }
+}
 
-    /// The Merkle trie behaves like a map, and its root hash is a pure
-    /// function of the final contents (insertion-order independent).
-    #[test]
-    fn trie_behaves_like_a_map(
-        entries in prop::collection::btree_map(
-            prop::collection::vec(any::<u8>(), 20),
-            prop::collection::vec(any::<u8>(), 1..72),
-            0..120,
-        ),
-    ) {
+/// The Merkle trie behaves like a map, and its root hash is a pure function
+/// of the final contents (insertion-order independent).
+#[test]
+fn trie_behaves_like_a_map() {
+    for case in 0..16u64 {
+        let mut gen = SplitMix64::new(0x7e1e + case);
+        let len = (gen.next_u64() as usize) % 120;
+        let mut entries: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        while entries.len() < len {
+            let mut key = vec![0u8; 20];
+            gen.fill_bytes(&mut key);
+            let value_len = 1 + (gen.next_u64() as usize) % 71;
+            let mut value = vec![0u8; value_len];
+            gen.fill_bytes(&mut value);
+            entries.insert(key, value);
+        }
         let mut forward = MerkleTrie::new();
         for (k, v) in &entries {
             forward.insert(k, v.clone());
@@ -137,16 +251,17 @@ proptest! {
         for (k, v) in entries.iter().rev() {
             backward.insert(k, v.clone());
         }
-        prop_assert_eq!(forward.root(), backward.root());
-        prop_assert_eq!(forward.len(), entries.len());
+        assert_eq!(forward.root(), backward.root(), "case {case}");
+        assert_eq!(forward.len(), entries.len(), "case {case}");
         for (k, v) in &entries {
-            prop_assert_eq!(forward.get(k), Some(v.as_slice()));
+            assert_eq!(forward.get(k), Some(v.as_slice()), "case {case}");
         }
         let mut leaves = forward.leaves();
         leaves.sort();
-        let mut expected: Vec<(Vec<u8>, Vec<u8>)> =
-            entries.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
-        expected.sort();
-        prop_assert_eq!(leaves, expected);
+        let expected: Vec<(Vec<u8>, Vec<u8>)> = entries
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        assert_eq!(leaves, expected, "case {case}");
     }
 }

@@ -59,7 +59,10 @@ fn bandwidth_trace_accounts_for_all_downstream_bytes() {
     let latest = chain.snapshot_at(30);
     let stale = chain.snapshot_at(20);
     let (_, outcome) = sync_with_riblt(&latest, &stale, RibltSyncConfig::default());
-    assert_eq!(outcome.downstream_series.total_bytes(), outcome.bytes_downstream);
+    assert_eq!(
+        outcome.downstream_series.total_bytes(),
+        outcome.bytes_downstream
+    );
     let trace = outcome.downstream_series.bandwidth_mbps(0.1);
     assert!(!trace.is_empty());
     // No bin can exceed the 20 Mbps link rate by more than rounding slack.

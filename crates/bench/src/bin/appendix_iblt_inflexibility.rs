@@ -8,10 +8,12 @@
 //! Output: two CSV tables separated by a blank line.
 
 use iblt::Iblt;
-use riblt_bench::{csv_header, items32, RunScale};
+use riblt_bench::{items32, BenchCli};
 
 fn main() {
-    let scale = RunScale::from_args();
+    let cli = BenchCli::from_args();
+    let scale = cli.scale;
+    let mut csv = cli.sink();
     let trials = scale.pick(50, 500);
     let m = 64usize;
 
@@ -19,14 +21,16 @@ fn main() {
         "# Appendix A reproduction ({:?} mode): {trials} trials per point",
         scale
     );
-    println!("# Theorem A.1: probability that peeling recovers at least one item (m = {m} cells)");
-    csv_header(&["n_over_m", "prob_any_recovered", "prob_fully_decoded"]);
+    csv.line(&format!(
+        "# Theorem A.1: probability that peeling recovers at least one item (m = {m} cells)"
+    ));
+    csv.header(&["n_over_m", "prob_any_recovered", "prob_fully_decoded"]);
     for ratio in [0.5f64, 0.8, 1.0, 1.2, 1.5, 2.0, 3.0, 4.0] {
         let n = (ratio * m as f64).round() as u64;
         let mut any = 0usize;
         let mut full = 0usize;
         for t in 0..trials {
-            let items = items32(n, 0xa11 ^ (t as u64) << 16 ^ n);
+            let items = items32(n, cli.seed_or(0xa11) ^ (t as u64) << 16 ^ n);
             let table = Iblt::from_set(m, 3, items.iter());
             let out = table.decode();
             if out.is_complete() {
@@ -36,23 +40,24 @@ fn main() {
                 any += 1;
             }
         }
-        riblt_bench::csv_row!(
+        riblt_bench::csv_emit!(
+            csv,
             format!("{ratio:.1}"),
             format!("{:.3}", any as f64 / trials as f64),
             format!("{:.3}", full as f64 / trials as f64)
         );
     }
 
-    println!();
-    println!("# Theorem A.2: decoding from a prefix of an IBLT sized for 4x the difference");
-    csv_header(&["kept_fraction", "success_probability"]);
+    csv.line("");
+    csv.line("# Theorem A.2: decoding from a prefix of an IBLT sized for 4x the difference");
+    csv.header(&["kept_fraction", "success_probability"]);
     let n = 100u64; // items to recover
     let full_m = 4 * n as usize; // generously parameterized table
     for kept in [1.0f64, 0.8, 0.6, 0.5, 0.4, 0.35, 0.3, 0.25, 0.2] {
         let prefix = (full_m as f64 * kept) as usize;
         let mut ok = 0usize;
         for t in 0..trials {
-            let items = items32(n, 0xa22 ^ (t as u64) << 16);
+            let items = items32(n, cli.seed_or(0xa22) ^ (t as u64) << 16);
             // Build the full table, then decode using only the first cells
             // by zeroing... regular IBLTs cannot be truncated, so we emulate
             // the theorem's setup: build a table with `prefix` cells and ask
@@ -62,7 +67,8 @@ fn main() {
                 ok += 1;
             }
         }
-        riblt_bench::csv_row!(
+        riblt_bench::csv_emit!(
+            csv,
             format!("{kept:.1}"),
             format!("{:.3}", ok as f64 / trials as f64)
         );

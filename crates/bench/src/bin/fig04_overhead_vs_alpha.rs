@@ -6,10 +6,12 @@
 //! overhead per difference size`.
 
 use analysis::{overhead_summary, threshold};
-use riblt_bench::{csv_header, RunScale};
+use riblt_bench::BenchCli;
 
 fn main() {
-    let scale = RunScale::from_args();
+    let cli = BenchCli::from_args();
+    let scale = cli.scale;
+    let mut csv = cli.sink();
     let alphas: Vec<f64> = (1..=19).map(|i| i as f64 * 0.05).collect();
     let diff_sizes: Vec<u64> = scale.pick(
         vec![100, 1_000, 10_000],
@@ -23,15 +25,15 @@ fn main() {
     );
     let mut columns = vec!["alpha".to_string(), "de_threshold".to_string()];
     columns.extend(diff_sizes.iter().map(|d| format!("sim_overhead_d{d}")));
-    csv_header(&columns.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+    csv.header(&columns.iter().map(|s| s.as_str()).collect::<Vec<_>>());
 
     for &alpha in &alphas {
         let de = threshold(alpha, 1e-3);
         let mut row = vec![format!("{alpha:.2}"), format!("{de:.4}")];
         for &d in &diff_sizes {
-            let summary = overhead_summary(d, alpha, trials, 0xf1604 ^ d);
+            let summary = overhead_summary(d, alpha, trials, cli.seed_or(0xf1604) ^ d);
             row.push(format!("{:.4}", summary.mean));
         }
-        println!("{}", row.join(","));
+        csv.cells(&row);
     }
 }

@@ -4,10 +4,12 @@
 //! Output columns: `d, mean_overhead, std_dev, min, max, de_asymptote`.
 
 use analysis::{log_spaced, overhead_summary, threshold};
-use riblt_bench::{csv_header, RunScale};
+use riblt_bench::BenchCli;
 
 fn main() {
-    let scale = RunScale::from_args();
+    let cli = BenchCli::from_args();
+    let scale = cli.scale;
+    let mut csv = cli.sink();
     let max_d = scale.pick(100_000, 1_000_000);
     let points = scale.pick(15, 22);
     let diffs = log_spaced(1, max_d, points);
@@ -16,7 +18,7 @@ fn main() {
         "# Fig. 5 reproduction ({:?} mode), DE asymptote = {de:.3}",
         scale
     );
-    csv_header(&[
+    csv.header(&[
         "d",
         "mean_overhead",
         "std_dev",
@@ -30,8 +32,9 @@ fn main() {
             if d <= 1_000 { 30 } else { 5 },
             if d <= 10_000 { 100 } else { 20 },
         );
-        let s = overhead_summary(d, 0.5, trials, 0xf165 ^ d);
-        riblt_bench::csv_row!(
+        let s = overhead_summary(d, 0.5, trials, cli.seed_or(0xf165) ^ d);
+        riblt_bench::csv_emit!(
+            csv,
             d,
             format!("{:.4}", s.mean),
             format!("{:.4}", s.std_dev),

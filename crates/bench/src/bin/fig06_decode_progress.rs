@@ -5,10 +5,12 @@
 //! Output columns: `eta, de_prediction, then one column per difference size`.
 
 use analysis::{decode_progress, recovery_trajectory};
-use riblt_bench::{csv_header, RunScale};
+use riblt_bench::BenchCli;
 
 fn main() {
-    let scale = RunScale::from_args();
+    let cli = BenchCli::from_args();
+    let scale = cli.scale;
+    let mut csv = cli.sink();
     let diffs: Vec<u64> = scale.pick(vec![500, 2_000], vec![500, 2_000, 10_000]);
     let trials = scale.pick(20, 1_000);
     let max_eta = 2.0;
@@ -21,7 +23,7 @@ fn main() {
     let grid: Vec<f64> = (1..=100).map(|i| i as f64 * max_eta / 100.0).collect();
     let mut sim_columns: Vec<Vec<f64>> = Vec::new();
     for &d in &diffs {
-        let rows = decode_progress(d, max_eta, trials, 0xf166 ^ d);
+        let rows = decode_progress(d, max_eta, trials, cli.seed_or(0xf166) ^ d);
         let resampled: Vec<f64> = grid
             .iter()
             .map(|&eta| {
@@ -35,12 +37,12 @@ fn main() {
 
     let mut header = vec!["eta".to_string(), "de_prediction".to_string()];
     header.extend(diffs.iter().map(|d| format!("sim_d{d}")));
-    csv_header(&header.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+    csv.header(&header.iter().map(|s| s.as_str()).collect::<Vec<_>>());
     for (i, &eta) in grid.iter().enumerate() {
         let mut row = vec![format!("{eta:.3}"), format!("{:.4}", de[i].1)];
         for col in &sim_columns {
             row.push(format!("{:.4}", col[i]));
         }
-        println!("{}", row.join(","));
+        csv.cells(&row);
     }
 }

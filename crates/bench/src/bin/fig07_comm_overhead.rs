@@ -18,7 +18,7 @@ use iblt::{calibrate, Iblt, ESTIMATOR_WIRE_BYTES};
 use merkle_trie::heal_in_memory;
 use reconcile_core::backends::{IbltBackend, IrregularRibltBackend, MetIbltBackend, RibltBackend};
 use reconcile_core::{run_in_memory, ReconcileBackend};
-use riblt_bench::{csv_header, set_pair32, Item32, RunScale};
+use riblt_bench::{set_pair32, BenchCli, Item32};
 
 const ITEM_LEN: usize = 32;
 /// Checksum + compressed count of one rateless coded symbol (§7.1: "these
@@ -46,7 +46,9 @@ where
 }
 
 fn main() {
-    let scale = RunScale::from_args();
+    let cli = BenchCli::from_args();
+    let scale = cli.scale;
+    let mut csv = cli.sink();
     let diffs: Vec<u64> = scale.pick(
         vec![1, 2, 5, 10, 20, 50, 100, 200, 300, 400],
         vec![
@@ -62,7 +64,7 @@ fn main() {
         scale
     );
 
-    csv_header(&[
+    csv.header(&[
         "d",
         "riblt",
         "irregular",
@@ -82,7 +84,7 @@ fn main() {
             || RibltBackend::<Item32>::new(ITEM_LEN, 1),
             d,
             trials,
-            0x707,
+            cli.seed_or(0x707),
         );
         let riblt_overhead = riblt_units * (ITEM_LEN + RIBLT_PER_SYMBOL_OVERHEAD) as f64 / denom;
 
@@ -91,25 +93,35 @@ fn main() {
             || IrregularRibltBackend::<Item32>::new(ITEM_LEN, 1),
             d,
             trials,
-            0x188,
+            cli.seed_or(0x188),
         );
         let irr_overhead = irr_units * (ITEM_LEN + RIBLT_PER_SYMBOL_OVERHEAD) as f64 / denom;
 
         // MET-IBLT: cells of every block fetched until joint decoding
         // succeeded.
-        let met_units = mean_units(|| MetIbltBackend::<Item32>::new(ITEM_LEN), d, trials, 0x3e7);
+        let met_units = mean_units(
+            || MetIbltBackend::<Item32>::new(ITEM_LEN),
+            d,
+            trials,
+            cli.seed_or(0x3e7),
+        );
         let met_overhead = met_units * IBLT_CELL_BYTES as f64 / denom;
 
         // Regular IBLT + estimator: the full protocol — estimator round,
         // estimate-sized table, doubling on failure.
-        let est_units = mean_units(|| IbltBackend::<Item32>::new(ITEM_LEN), d, trials, 0x1b17);
+        let est_units = mean_units(
+            || IbltBackend::<Item32>::new(ITEM_LEN),
+            d,
+            trials,
+            cli.seed_or(0x1b17),
+        );
         let iblt_est_overhead =
             (est_units * IBLT_CELL_BYTES as f64 + ESTIMATOR_WIRE_BYTES as f64) / denom;
 
         // Regular IBLT with a genie-aided size: calibrate the table
         // empirically for this d (no estimator round, no retry).
         let cal = calibrate(d, iblt_failure_target, iblt_trials, |cells, k, seed| {
-            let pair = set_pair32(d, d, 0x1b17 ^ d ^ (seed << 24));
+            let pair = set_pair32(d, d, cli.seed_or(0x1b17) ^ d ^ (seed << 24));
             let mut table = Iblt::from_set(cells, k, pair.alice.iter());
             let other = Iblt::from_set(cells, k, pair.bob.iter());
             table.subtract(&other);
@@ -124,7 +136,7 @@ fn main() {
 
         // Merkle trie: heal byte cost over a trie of `trie_set_size` accounts.
         let trie_overhead = if d >= 10 {
-            let pair = set_pair32(trie_set_size, d, 0x7121e ^ d);
+            let pair = set_pair32(trie_set_size, d, cli.seed_or(0x7121e) ^ d);
             let mut server = merkle_trie::MerkleTrie::new();
             let mut client = merkle_trie::MerkleTrie::new();
             for item in &pair.alice {
@@ -139,7 +151,8 @@ fn main() {
             f64::NAN
         };
 
-        riblt_bench::csv_row!(
+        riblt_bench::csv_emit!(
+            csv,
             d,
             format!("{riblt_overhead:.2}"),
             format!("{irr_overhead:.2}"),

@@ -7,10 +7,12 @@
 
 use pinsketch::PinSketch;
 use riblt::Encoder;
-use riblt_bench::{csv_header, items8, timed, Item8, RunScale};
+use riblt_bench::{items8, timed, BenchCli, Item8};
 
 fn main() {
-    let scale = RunScale::from_args();
+    let cli = BenchCli::from_args();
+    let scale = cli.scale;
+    let mut csv = cli.sink();
     let set_sizes: Vec<u64> = scale.pick(vec![10_000], vec![10_000, 1_000_000]);
     let diffs: Vec<u64> = scale.pick(
         vec![1, 10, 100, 1_000],
@@ -19,7 +21,7 @@ fn main() {
     // PinSketch encoding is O(N·d); cap where it stops being tractable.
     let pinsketch_max_d = scale.pick(1_000u64, 10_000u64);
     eprintln!("# Fig. 8 reproduction ({:?} mode)", scale);
-    csv_header(&[
+    csv.header(&[
         "set_size",
         "d",
         "riblt_encode_s",
@@ -29,7 +31,7 @@ fn main() {
     ]);
 
     for &n in &set_sizes {
-        let items = items8(n, 0xf8);
+        let items = items8(n, cli.seed_or(0xf8));
         for &d in &diffs {
             if d > n {
                 continue;
@@ -55,7 +57,8 @@ fn main() {
                 ("skipped".to_string(), "skipped".to_string())
             };
 
-            riblt_bench::csv_row!(
+            riblt_bench::csv_emit!(
+                csv,
                 n,
                 d,
                 format!("{riblt_s:.6}"),

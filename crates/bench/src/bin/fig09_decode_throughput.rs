@@ -7,10 +7,12 @@
 
 use pinsketch::PinSketch;
 use riblt::{Decoder, Encoder};
-use riblt_bench::{csv_header, items8, timed, Item8, RunScale};
+use riblt_bench::{items8, timed, BenchCli, Item8};
 
 fn main() {
-    let scale = RunScale::from_args();
+    let cli = BenchCli::from_args();
+    let scale = cli.scale;
+    let mut csv = cli.sink();
     let diffs: Vec<u64> = scale.pick(
         vec![1, 10, 100, 1_000, 10_000, 100_000],
         vec![1, 10, 100, 1_000, 10_000, 100_000],
@@ -19,7 +21,7 @@ fn main() {
     // GF(2^64); cap it where a single point would take minutes.
     let pinsketch_max_d = scale.pick(256u64, 2_048u64);
     eprintln!("# Fig. 9 reproduction ({:?} mode)", scale);
-    csv_header(&[
+    csv.header(&[
         "d",
         "riblt_decode_s",
         "riblt_throughput_per_s",
@@ -28,7 +30,7 @@ fn main() {
     ]);
 
     for &d in &diffs {
-        let items = items8(d, 0xf9 ^ d);
+        let items = items8(d, cli.seed_or(0xf9) ^ d);
         // Pre-produce the coded symbols (encoder cost is charged in Fig. 8).
         let mut enc = Encoder::<Item8>::new();
         for item in &items {
@@ -58,7 +60,8 @@ fn main() {
             ("skipped".to_string(), "skipped".to_string())
         };
 
-        riblt_bench::csv_row!(
+        riblt_bench::csv_emit!(
+            csv,
             d,
             format!("{riblt_s:.6}"),
             format!("{:.1}", d as f64 / riblt_s),

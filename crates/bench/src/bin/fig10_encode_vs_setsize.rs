@@ -4,19 +4,21 @@
 //! Output columns: `set_size, encode_s`.
 
 use riblt::Encoder;
-use riblt_bench::{csv_header, items8, timed, Item8, RunScale};
+use riblt_bench::{items8, timed, BenchCli, Item8};
 
 fn main() {
-    let scale = RunScale::from_args();
+    let cli = BenchCli::from_args();
+    let scale = cli.scale;
+    let mut csv = cli.sink();
     let d = 1_000u64;
     let sizes: Vec<u64> = scale.pick(
         vec![1_000, 10_000, 100_000, 1_000_000],
         vec![1_000, 10_000, 100_000, 1_000_000, 10_000_000],
     );
     eprintln!("# Fig. 10 reproduction ({:?} mode), d = {d}", scale);
-    csv_header(&["set_size", "encode_s"]);
+    csv.header(&["set_size", "encode_s"]);
     for &n in &sizes {
-        let items = items8(n, 0xf10);
+        let items = items8(n, cli.seed_or(0xf10));
         let symbols_needed = (1.4 * d as f64).ceil() as usize;
         let (_, secs) = timed(|| {
             let mut enc = Encoder::<Item8>::new();
@@ -25,6 +27,6 @@ fn main() {
             }
             enc.produce_coded_symbols(symbols_needed)
         });
-        riblt_bench::csv_row!(n, format!("{secs:.6}"));
+        riblt_bench::csv_emit!(csv, n, format!("{secs:.6}"));
     }
 }

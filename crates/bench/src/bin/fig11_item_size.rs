@@ -6,11 +6,13 @@
 //! Output columns: `item_bytes, encode_s, slowdown_vs_8B, data_rate_MBps`.
 
 use riblt::{Encoder, VecSymbol};
-use riblt_bench::{csv_header, timed, RunScale};
+use riblt_bench::{timed, BenchCli};
 use riblt_hash::SplitMix64;
 
 fn main() {
-    let scale = RunScale::from_args();
+    let cli = BenchCli::from_args();
+    let scale = cli.scale;
+    let mut csv = cli.sink();
     let d = 1_000u64;
     let n = scale.pick(10_000u64, 10_000u64);
     let sizes: Vec<usize> = scale.pick(
@@ -21,11 +23,11 @@ fn main() {
         "# Fig. 11 reproduction ({:?} mode), d = {d}, N = {n}",
         scale
     );
-    csv_header(&["item_bytes", "encode_s", "slowdown_vs_8B", "data_rate_MBps"]);
+    csv.header(&["item_bytes", "encode_s", "slowdown_vs_8B", "data_rate_MBps"]);
 
     let mut base = None;
     for &len in &sizes {
-        let mut gen = SplitMix64::new(0xf11 ^ len as u64);
+        let mut gen = SplitMix64::new(cli.seed_or(0xf11) ^ len as u64);
         let items: Vec<VecSymbol> = (0..n)
             .map(|_| {
                 let mut bytes = vec![0u8; len];
@@ -43,7 +45,8 @@ fn main() {
         });
         let base_secs = *base.get_or_insert(secs);
         let rate = n as f64 * len as f64 / secs / 1e6;
-        riblt_bench::csv_row!(
+        riblt_bench::csv_emit!(
+            csv,
             len,
             format!("{secs:.6}"),
             format!("{:.2}", secs / base_secs),

@@ -5,13 +5,15 @@
 //! Output columns: `staleness_blocks, staleness_minutes, diff_items,
 //! riblt_time_s, riblt_MB, heal_time_s, heal_MB, time_ratio, bytes_ratio`.
 
-use riblt_bench::{csv_header, RunScale};
+use riblt_bench::{BenchCli, RunScale};
 use statesync::{
     sync_with_heal, sync_with_riblt, Chain, ChainConfig, HealSyncConfig, RibltSyncConfig,
 };
 
 fn main() {
-    let scale = RunScale::from_args();
+    let cli = BenchCli::from_args();
+    let scale = cli.scale;
+    let mut csv = cli.sink();
     let config = match scale {
         RunScale::Quick => ChainConfig {
             genesis_accounts: 50_000,
@@ -31,7 +33,7 @@ fn main() {
     let chain = Chain::generate(config, max_blocks);
     let latest = chain.snapshot_at(max_blocks);
 
-    csv_header(&[
+    csv.header(&[
         "staleness_blocks",
         "staleness_minutes",
         "diff_items",
@@ -48,7 +50,8 @@ fn main() {
         let diff = latest.item_difference(&stale);
         let (_, riblt) = sync_with_riblt(&latest, &stale, RibltSyncConfig::default());
         let (_, heal) = sync_with_heal(&latest, &stale, HealSyncConfig::default());
-        riblt_bench::csv_row!(
+        riblt_bench::csv_emit!(
+            csv,
             blocks,
             format!("{:.1}", blocks as f64 * config.block_interval_s / 60.0),
             diff,

@@ -4,13 +4,15 @@
 //!
 //! Output columns: `time_s, riblt_mbps, heal_mbps`.
 
-use riblt_bench::{csv_header, RunScale};
+use riblt_bench::{BenchCli, RunScale};
 use statesync::{
     sync_with_heal, sync_with_riblt, Chain, ChainConfig, HealSyncConfig, RibltSyncConfig,
 };
 
 fn main() {
-    let scale = RunScale::from_args();
+    let cli = BenchCli::from_args();
+    let scale = cli.scale;
+    let mut csv = cli.sink();
     let config = match scale {
         RunScale::Quick => ChainConfig {
             genesis_accounts: 50_000,
@@ -39,11 +41,11 @@ fn main() {
         "# riblt: completion {:.3}s over {} rounds; heal: completion {:.3}s over {} rounds",
         riblt.completion_time_s, riblt.rounds, heal.completion_time_s, heal.rounds
     );
-    csv_header(&["time_s", "riblt_mbps", "heal_mbps"]);
+    csv.header(&["time_s", "riblt_mbps", "heal_mbps"]);
     for i in 0..len {
         let t = i as f64 * bin;
         let r = riblt_series.get(i).map(|x| x.1).unwrap_or(0.0);
         let h = heal_series.get(i).map(|x| x.1).unwrap_or(0.0);
-        riblt_bench::csv_row!(format!("{t:.2}"), format!("{r:.2}"), format!("{h:.2}"));
+        riblt_bench::csv_emit!(csv, format!("{t:.2}"), format!("{r:.2}"), format!("{h:.2}"));
     }
 }

@@ -6,13 +6,15 @@
 //! Output columns: `bandwidth_mbps, riblt_time_s, heal_time_s`.
 
 use netsim::LinkConfig;
-use riblt_bench::{csv_header, RunScale};
+use riblt_bench::{BenchCli, RunScale};
 use statesync::{
     sync_with_heal, sync_with_riblt, Chain, ChainConfig, HealSyncConfig, RibltSyncConfig,
 };
 
 fn main() {
-    let scale = RunScale::from_args();
+    let cli = BenchCli::from_args();
+    let scale = cli.scale;
+    let mut csv = cli.sink();
     let config = match scale {
         RunScale::Quick => ChainConfig {
             genesis_accounts: 50_000,
@@ -38,7 +40,7 @@ fn main() {
     let latest = chain.snapshot_at(staleness_blocks);
     let stale = chain.snapshot_at(0);
 
-    csv_header(&["bandwidth_mbps", "riblt_time_s", "heal_time_s"]);
+    csv.header(&["bandwidth_mbps", "riblt_time_s", "heal_time_s"]);
     for bw in bandwidths {
         let link = match bw {
             Some(mbps) => LinkConfig::with_mbps(mbps),
@@ -63,7 +65,8 @@ fn main() {
         let label = bw
             .map(|b| format!("{b:.0}"))
             .unwrap_or_else(|| "unlimited".into());
-        riblt_bench::csv_row!(
+        riblt_bench::csv_emit!(
+            csv,
             label,
             format!("{:.2}", riblt.completion_time_s),
             format!("{:.2}", heal.completion_time_s)

@@ -5,10 +5,12 @@
 
 use analysis::{irregular_overhead_summary, log_spaced, overhead_summary};
 use riblt::IrregularClasses;
-use riblt_bench::{csv_header, RunScale};
+use riblt_bench::BenchCli;
 
 fn main() {
-    let scale = RunScale::from_args();
+    let cli = BenchCli::from_args();
+    let scale = cli.scale;
+    let mut csv = cli.sink();
     let max_d = scale.pick(50_000, 1_000_000);
     let points = scale.pick(12, 19);
     let trials = scale.pick(10, 100);
@@ -18,10 +20,15 @@ fn main() {
         "# Fig. 15 reproduction ({:?} mode): {trials} trials per point",
         scale
     );
-    csv_header(&["d", "regular_overhead", "irregular_overhead"]);
+    csv.header(&["d", "regular_overhead", "irregular_overhead"]);
     for &d in &diffs {
-        let reg = overhead_summary(d, 0.5, trials, 0xf1615 ^ d);
-        let irr = irregular_overhead_summary(d, &classes, trials, 0xf1615 ^ d);
-        riblt_bench::csv_row!(d, format!("{:.4}", reg.mean), format!("{:.4}", irr.mean));
+        let reg = overhead_summary(d, 0.5, trials, cli.seed_or(0xf1615) ^ d);
+        let irr = irregular_overhead_summary(d, &classes, trials, cli.seed_or(0xf1615) ^ d);
+        riblt_bench::csv_emit!(
+            csv,
+            d,
+            format!("{:.4}", reg.mean),
+            format!("{:.4}", irr.mean)
+        );
     }
 }

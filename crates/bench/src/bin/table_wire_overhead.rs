@@ -5,14 +5,16 @@
 //! Output columns: `set_size, coded_symbols, count_bytes_total, count_bytes_per_symbol`.
 
 use riblt::{Encoder, SymbolCodec};
-use riblt_bench::{csv_header, items8, RunScale};
+use riblt_bench::{items8, BenchCli};
 
 fn main() {
-    let scale = RunScale::from_args();
+    let cli = BenchCli::from_args();
+    let scale = cli.scale;
+    let mut csv = cli.sink();
     let n = scale.pick(1_000_000u64, 1_000_000u64);
     let m = 10_000usize;
     eprintln!("# §6 count-compression measurement ({:?} mode)", scale);
-    let items = items8(n, 0x37a6);
+    let items = items8(n, cli.seed_or(0x37a6));
     let mut enc = Encoder::new();
     for it in items {
         enc.add_symbol(it).unwrap();
@@ -20,11 +22,11 @@ fn main() {
     let symbols = enc.produce_coded_symbols(m);
     let codec = SymbolCodec::new(8, n);
     let total = codec.count_field_bytes(&symbols, 0);
-    csv_header(&[
+    csv.header(&[
         "set_size",
         "coded_symbols",
         "count_bytes_total",
         "count_bytes_per_symbol",
     ]);
-    riblt_bench::csv_row!(n, m, total, format!("{:.3}", total as f64 / m as f64));
+    riblt_bench::csv_emit!(csv, n, m, total, format!("{:.3}", total as f64 / m as f64));
 }

@@ -1,0 +1,180 @@
+//! Shared command-line interface of the experiment binaries.
+//!
+//! Every `fig*`/`table*` binary accepts the same three flags instead of
+//! hand-rolling its own parsing:
+//!
+//! * `--full` — paper-scale sweep (default is a quick laptop-scale run);
+//! * `--seed <u64>` — XORed into the binary's base seeds, so a different
+//!   value re-randomizes every trial while the default (0) reproduces the
+//!   documented numbers (decimal or `0x`-prefixed hex);
+//! * `--out <path>` — write the CSV table to a file instead of stdout
+//!   (progress notes keep going to stderr either way).
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::PathBuf;
+
+use crate::RunScale;
+
+/// Parsed command line of an experiment binary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchCli {
+    /// Quick (default) or `--full` paper-scale run.
+    pub scale: RunScale,
+    /// `--seed` value (0 when not given).
+    pub seed: u64,
+    /// `--out` path (stdout when not given).
+    pub out: Option<PathBuf>,
+}
+
+impl BenchCli {
+    /// Parses the process arguments, exiting with usage on bad input.
+    pub fn from_args() -> BenchCli {
+        match Self::parse(std::env::args().skip(1)) {
+            Ok(cli) => cli,
+            Err(message) => {
+                eprintln!("error: {message}");
+                eprintln!("usage: <binary> [--full] [--seed <u64>] [--out <path>]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Parses an argument list (no program name).
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Result<BenchCli, String> {
+        let mut cli = BenchCli {
+            scale: RunScale::Quick,
+            seed: 0,
+            out: None,
+        };
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--full" => cli.scale = RunScale::Full,
+                "--seed" => {
+                    let value = args.next().ok_or("--seed needs a value")?;
+                    cli.seed = parse_u64(&value)?;
+                }
+                "--out" => {
+                    let value = args.next().ok_or("--out needs a path")?;
+                    cli.out = Some(PathBuf::from(value));
+                }
+                other => return Err(format!("unknown argument `{other}`")),
+            }
+        }
+        Ok(cli)
+    }
+
+    /// XORs the `--seed` flag into a binary's base seed.
+    pub fn seed_or(&self, base: u64) -> u64 {
+        base ^ self.seed
+    }
+
+    /// Opens the CSV sink (stdout, or the `--out` file).
+    pub fn sink(&self) -> CsvSink {
+        let out: Box<dyn Write> = match &self.out {
+            Some(path) => Box::new(BufWriter::new(
+                File::create(path).unwrap_or_else(|e| panic!("cannot create {path:?}: {e}")),
+            )),
+            None => Box::new(io::stdout()),
+        };
+        CsvSink { out }
+    }
+}
+
+fn parse_u64(text: &str) -> Result<u64, String> {
+    let parsed = if let Some(hex) = text.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        text.parse()
+    };
+    parsed.map_err(|_| format!("`{text}` is not a u64"))
+}
+
+/// Destination of a binary's CSV table.
+pub struct CsvSink {
+    out: Box<dyn Write>,
+}
+
+impl CsvSink {
+    /// Writes the header line.
+    pub fn header(&mut self, columns: &[&str]) {
+        self.line(&columns.join(","));
+    }
+
+    /// Writes one row of pre-formatted cells.
+    pub fn cells(&mut self, cells: &[String]) {
+        self.line(&cells.join(","));
+    }
+
+    /// Writes one raw line (comment rows, table separators).
+    pub fn line(&mut self, line: &str) {
+        writeln!(self.out, "{line}").expect("CSV sink write failed");
+    }
+}
+
+impl Drop for CsvSink {
+    fn drop(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+/// Formats heterogeneous printable values into one CSV row of a
+/// [`CsvSink`].
+#[macro_export]
+macro_rules! csv_emit {
+    ($sink:expr, $($value:expr),+ $(,)?) => {{
+        $sink.cells(&[$(format!("{}", $value)),+]);
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<BenchCli, String> {
+        BenchCli::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_are_quick_stdout_seed_zero() {
+        let cli = parse(&[]).unwrap();
+        assert_eq!(cli.scale, RunScale::Quick);
+        assert_eq!(cli.seed, 0);
+        assert_eq!(cli.out, None);
+        assert_eq!(cli.seed_or(0x707), 0x707);
+    }
+
+    #[test]
+    fn all_flags_parse() {
+        let cli = parse(&["--full", "--seed", "0xdead", "--out", "/tmp/x.csv"]).unwrap();
+        assert_eq!(cli.scale, RunScale::Full);
+        assert_eq!(cli.seed, 0xdead);
+        assert_eq!(cli.out, Some(PathBuf::from("/tmp/x.csv")));
+        assert_eq!(cli.seed_or(1), 0xdead ^ 1);
+        let cli = parse(&["--seed", "42"]).unwrap();
+        assert_eq!(cli.seed, 42);
+    }
+
+    #[test]
+    fn bad_input_is_rejected() {
+        assert!(parse(&["--seed"]).is_err());
+        assert!(parse(&["--seed", "nope"]).is_err());
+        assert!(parse(&["--out"]).is_err());
+        assert!(parse(&["--frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn sink_writes_csv_to_a_file() {
+        let path = std::env::temp_dir().join("riblt_bench_cli_test.csv");
+        let cli = parse(&["--out", path.to_str().unwrap()]).unwrap();
+        {
+            let mut sink = cli.sink();
+            sink.header(&["a", "b"]);
+            crate::csv_emit!(sink, 1, format!("{:.2}", 2.5));
+        }
+        let written = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(written, "a,b\n1,2.50\n");
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -1,13 +1,19 @@
 //! Shared helpers for the experiment binaries and Criterion benches that
 //! regenerate the paper's tables and figures.
 //!
-//! Every binary in `src/bin/` prints a self-describing CSV table to stdout
-//! whose columns mirror one figure of the paper; EXPERIMENTS.md records the
-//! outputs next to the paper's numbers. Binaries accept `--full` for the
-//! paper-scale sweep and default to a quicker laptop-scale sweep otherwise.
+//! Every binary in `src/bin/` prints a self-describing CSV table whose
+//! columns mirror one figure of the paper; EXPERIMENTS.md records the
+//! outputs next to the paper's numbers. All binaries share the same command
+//! line ([`BenchCli`]): `--full` for the paper-scale sweep (default is a
+//! quicker laptop-scale sweep), `--seed` to re-randomize trials, `--out` to
+//! write the CSV to a file.
 
 use riblt::FixedBytes;
 use riblt_hash::{splitmix64, SplitMix64};
+
+mod cli;
+
+pub use cli::{BenchCli, CsvSink};
 
 /// 32-byte items (SHA-256-sized keys) used by the communication experiments.
 pub type Item32 = FixedBytes<32>;
@@ -119,20 +125,6 @@ pub fn set_pair8(n: u64, d: u64, seed: u64) -> SetPair<Item8> {
         bob,
         difference: (a_only + b_only) as usize,
     }
-}
-
-/// Prints a CSV header line.
-pub fn csv_header(columns: &[&str]) {
-    println!("{}", columns.join(","));
-}
-
-/// Prints one CSV row of heterogeneous printable values.
-#[macro_export]
-macro_rules! csv_row {
-    ($($value:expr),+ $(,)?) => {{
-        let cells: Vec<String> = vec![$(format!("{}", $value)),+];
-        println!("{}", cells.join(","));
-    }};
 }
 
 /// Measures the wall-clock seconds taken by `f`, returning `(result, secs)`.

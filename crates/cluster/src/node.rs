@@ -1,0 +1,230 @@
+//! A cluster member: one item set, hash-partitioned into shards, each shard
+//! backed by a long-lived incrementally-maintained [`SketchCache`].
+//!
+//! The cache-per-shard layout is the paper's §2/§7.3 deployment story taken
+//! to a cluster: coded symbols are computed **once** when the set changes
+//! (each update patches O(log m) cells of one shard's cache) and the same
+//! cells serve *every* peer at *any* staleness — serving a session is a pure
+//! read of a cell range plus wire encoding, never a re-encode.
+
+use std::collections::BTreeSet;
+
+use reconcile_core::{ShardId, ShardPartitioner};
+use riblt::{CodedSymbol, SketchCache, Symbol};
+use riblt_hash::SipKey;
+
+/// Static configuration shared by every member of a cluster.
+///
+/// **All members must use the same `key` and `shards`**: the keyed hash
+/// drives both the shard partition and the coded-symbol checksums/mappings,
+/// so nodes configured with different keys cannot reconcile (their caches
+/// describe incompatible codes and their partitions disagree). Distribute
+/// the key out of band, exactly like the `SipKey` of a two-party session.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeConfig {
+    /// Number of keyspace shards (S).
+    pub shards: u16,
+    /// Cluster-wide keyed-hash key.
+    pub key: SipKey,
+    /// Length in bytes of every item.
+    pub symbol_len: usize,
+}
+
+impl NodeConfig {
+    /// Configuration with the default key.
+    pub fn new(shards: u16, symbol_len: usize) -> Self {
+        NodeConfig {
+            shards,
+            key: SipKey::default(),
+            symbol_len,
+        }
+    }
+}
+
+/// One cluster node: an item set plus one shared sketch cache per shard.
+#[derive(Debug, Clone)]
+pub struct Node<S: Symbol + Ord> {
+    id: usize,
+    config: NodeConfig,
+    partitioner: ShardPartitioner,
+    items: BTreeSet<S>,
+    caches: Vec<SketchCache<S>>,
+    shard_sizes: Vec<usize>,
+}
+
+impl<S: Symbol + Ord> Node<S> {
+    /// Creates an empty node.
+    pub fn new(id: usize, config: NodeConfig) -> Self {
+        let caches = (0..config.shards)
+            .map(|_| SketchCache::with_key(config.key))
+            .collect();
+        Node {
+            id,
+            partitioner: ShardPartitioner::new(config.key, config.shards),
+            items: BTreeSet::new(),
+            caches,
+            shard_sizes: vec![0; usize::from(config.shards)],
+            config,
+        }
+    }
+
+    /// The node's cluster-wide identifier.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The node's configuration.
+    pub fn config(&self) -> NodeConfig {
+        self.config
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> u16 {
+        self.config.shards
+    }
+
+    /// Number of items currently in the set.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if the node holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Number of items in `shard`.
+    pub fn shard_len(&self, shard: ShardId) -> usize {
+        self.shard_sizes[usize::from(shard)]
+    }
+
+    /// The shard `item` maps to.
+    pub fn shard_of(&self, item: &S) -> ShardId {
+        self.partitioner.shard_of(item)
+    }
+
+    /// True if the set contains `item`.
+    pub fn contains(&self, item: &S) -> bool {
+        self.items.contains(item)
+    }
+
+    /// Iterates over the items in order.
+    pub fn items(&self) -> impl Iterator<Item = &S> {
+        self.items.iter()
+    }
+
+    /// Adds `item`; returns false (and does nothing) if already present.
+    ///
+    /// Patches only the O(log m) materialized cells of the item's shard
+    /// cache — this is the incremental maintenance every peer's future
+    /// sessions share.
+    pub fn insert(&mut self, item: S) -> bool {
+        if !self.items.insert(item.clone()) {
+            return false;
+        }
+        let shard = usize::from(self.partitioner.shard_of(&item));
+        self.caches[shard].add_symbol(item);
+        self.shard_sizes[shard] += 1;
+        true
+    }
+
+    /// Removes `item`; returns false (and does nothing) if absent.
+    pub fn remove(&mut self, item: &S) -> bool {
+        if !self.items.remove(item) {
+            return false;
+        }
+        let shard = usize::from(self.partitioner.shard_of(item));
+        self.caches[shard].remove_symbol(item.clone());
+        self.shard_sizes[shard] -= 1;
+        true
+    }
+
+    /// Serves the coded symbols `[start, start + len)` of `shard` straight
+    /// from the shared cache (materializing further cells on demand). Every
+    /// concurrent session reads the same cells.
+    pub fn shard_cells(&mut self, shard: ShardId, start: usize, len: usize) -> &[CodedSymbol<S>] {
+        self.caches[usize::from(shard)].range(start, len)
+    }
+
+    /// Order-independent digest of the item set, for cheap convergence
+    /// checks across a cluster (equal sets ⇒ equal digests; the converse
+    /// holds up to hash collisions — verify exactly where it matters).
+    pub fn digest(&self) -> u64 {
+        let mut acc = 0x9e37_79b9_7f4a_7c15u64 ^ (self.items.len() as u64);
+        for item in &self.items {
+            acc ^= item.hash_with(self.config.key);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use riblt::{FixedBytes, Sketch};
+
+    type Item = FixedBytes<8>;
+
+    fn node_with(id: usize, items: impl IntoIterator<Item = u64>) -> Node<Item> {
+        let mut node = Node::new(id, NodeConfig::new(8, 8));
+        for i in items {
+            node.insert(Item::from_u64(i));
+        }
+        node
+    }
+
+    #[test]
+    fn insert_and_remove_keep_caches_consistent_with_a_rebuild() {
+        let mut node = node_with(0, 0..500);
+        for i in 100..160 {
+            node.remove(&Item::from_u64(i));
+        }
+        for i in 1_000..1_050 {
+            node.insert(Item::from_u64(i));
+        }
+        // Each shard cache must equal the from-scratch sketch of that
+        // shard's final membership.
+        let m = 64;
+        for shard in 0..node.shards() {
+            let members: Vec<Item> = node
+                .items()
+                .filter(|i| node.shard_of(i) == shard)
+                .cloned()
+                .collect();
+            let mut fresh = Sketch::with_key(m, node.config().key);
+            for item in &members {
+                fresh.add_symbol(item);
+            }
+            assert_eq!(node.shard_cells(shard, 0, m), fresh.cells());
+        }
+    }
+
+    #[test]
+    fn duplicate_insert_and_missing_remove_are_noops() {
+        let mut node = node_with(0, 0..10);
+        let before: Vec<_> = node.shard_cells(0, 0, 16).to_vec();
+        assert!(!node.insert(Item::from_u64(5)));
+        assert!(!node.remove(&Item::from_u64(99)));
+        assert_eq!(node.len(), 10);
+        assert_eq!(node.shard_cells(0, 0, 16), before);
+    }
+
+    #[test]
+    fn shard_sizes_sum_to_len() {
+        let node = node_with(0, 0..1_000);
+        let total: usize = (0..node.shards()).map(|s| node.shard_len(s)).sum();
+        assert_eq!(total, node.len());
+    }
+
+    #[test]
+    fn digest_is_order_independent_and_tracks_content() {
+        let a = node_with(0, 0..100);
+        let mut b = Node::new(1, NodeConfig::new(8, 8));
+        for i in (0..100u64).rev() {
+            b.insert(Item::from_u64(i));
+        }
+        assert_eq!(a.digest(), b.digest());
+        b.insert(Item::from_u64(100));
+        assert_ne!(a.digest(), b.digest());
+    }
+}

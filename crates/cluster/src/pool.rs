@@ -1,0 +1,67 @@
+//! Minimal scoped worker pool for shard-parallel work.
+//!
+//! The workspace is std-only, so this is `std::thread::scope` with chunking:
+//! callers hand in disjoint `&mut` work items and a closure; the pool splits
+//! them over up to `threads` OS threads. Shard decodes are independent by
+//! construction, which is exactly the shape this covers.
+
+/// Applies `f` to every element of `work`, using up to `threads` scoped
+/// worker threads. With `threads <= 1` (or a single item) it runs inline,
+/// so callers can treat the parallel and serial paths identically.
+pub fn parallel_for_each<T, F>(work: &mut [T], threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(&mut T) + Sync,
+{
+    if threads <= 1 || work.len() <= 1 {
+        for item in work {
+            f(item);
+        }
+        return;
+    }
+    let chunk = work.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        for batch in work.chunks_mut(chunk) {
+            scope.spawn(|| {
+                for item in batch {
+                    f(item);
+                }
+            });
+        }
+    });
+}
+
+/// The decode parallelism to use by default: one worker per available core.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn applies_to_every_item_for_any_thread_count() {
+        for threads in [1, 2, 3, 8, 64] {
+            let mut work: Vec<u64> = (0..37).collect();
+            parallel_for_each(&mut work, threads, |x| *x *= 2);
+            assert_eq!(work, (0..37).map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_work() {
+        let mut empty: Vec<u64> = Vec::new();
+        parallel_for_each(&mut empty, 4, |_| unreachable!());
+        let mut one = vec![5u64];
+        parallel_for_each(&mut one, 4, |x| *x += 1);
+        assert_eq!(one, vec![6]);
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

@@ -3,6 +3,8 @@
 //! * [`SimLink`] / [`LinkConfig`] — deterministic virtual-time link with
 //!   propagation delay and bandwidth caps, substituting for the paper's
 //!   Dummynet testbed (DESIGN.md §4).
+//! * [`Topology`] — a full mesh of per-pair links with per-node byte
+//!   accounting, for the N-node cluster experiments.
 //! * [`TimeSeries`] — byte-delivery accounting for bandwidth traces
 //!   (Fig. 13).
 //! * [`write_frame`] / [`read_frame`] — length-prefixed framing for the real
@@ -13,7 +15,9 @@
 mod link;
 mod tcp;
 mod timeseries;
+mod topology;
 
 pub use link::{LinkConfig, LinkDirection, SimLink};
 pub use tcp::{read_frame, write_frame, MAX_FRAME_BYTES};
 pub use timeseries::TimeSeries;
+pub use topology::Topology;

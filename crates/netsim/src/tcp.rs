@@ -11,7 +11,17 @@ use std::io::{self, Read, Write};
 pub const MAX_FRAME_BYTES: usize = 64 * 1024 * 1024;
 
 /// Writes one length-prefixed frame.
+///
+/// Frames above [`MAX_FRAME_BYTES`] are rejected symmetrically with
+/// [`read_frame`]: a frame we would refuse to read must never be emitted,
+/// otherwise a conformant peer drops the connection mid-protocol.
 pub fn write_frame<W: Write>(writer: &mut W, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "frame exceeds MAX_FRAME_BYTES",
+        ));
+    }
     let len = u32::try_from(payload.len())
         .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
     writer.write_all(&len.to_le_bytes())?;
@@ -62,11 +72,38 @@ mod tests {
     }
 
     #[test]
-    fn oversized_frame_rejected() {
+    fn oversized_frame_rejected_on_read() {
         let mut buf = Vec::new();
         buf.extend_from_slice(&(u32::MAX).to_le_bytes());
         let mut cursor = Cursor::new(buf);
         assert!(read_frame(&mut cursor).is_err());
+        // Just past the limit, with the exact error kind.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&((MAX_FRAME_BYTES as u32) + 1).to_le_bytes());
+        let err = read_frame(&mut Cursor::new(buf)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn oversized_frame_rejected_on_write() {
+        // The limit must hold symmetrically: what read_frame refuses,
+        // write_frame must never produce.
+        let payload = vec![0u8; MAX_FRAME_BYTES + 1];
+        let mut buf = Vec::new();
+        let err = write_frame(&mut buf, &payload).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        assert!(buf.is_empty(), "no partial frame may be emitted");
+    }
+
+    #[test]
+    fn limit_sized_frame_roundtrips_both_ways() {
+        // Exactly MAX_FRAME_BYTES is legal on both sides of the link.
+        let payload = vec![0xabu8; MAX_FRAME_BYTES];
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        let back = read_frame(&mut Cursor::new(buf)).unwrap();
+        assert_eq!(back.len(), MAX_FRAME_BYTES);
+        assert_eq!(back, payload);
     }
 
     #[test]

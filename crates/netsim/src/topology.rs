@@ -1,0 +1,161 @@
+//! Multi-node topology: a full mesh of per-pair [`SimLink`]s.
+//!
+//! The cluster experiments run N-node anti-entropy gossip; every node pair
+//! that actually talks gets its own deterministic virtual-time link
+//! (created lazily), and the topology keeps per-node sent/received byte
+//! counters so experiments can report per-node communication cost alongside
+//! the aggregate.
+
+use std::collections::BTreeMap;
+
+use crate::link::{LinkConfig, LinkDirection, SimLink};
+
+/// A mesh of `n` nodes connected pairwise by [`SimLink`]s.
+///
+/// Links are lazily created with a shared [`LinkConfig`] the first time a
+/// pair communicates. On the link between nodes `a < b`, traffic from `a`
+/// travels in the [`LinkDirection::ClientToServer`] direction (the mapping
+/// is arbitrary but fixed, so the two directions of a pair stay independent
+/// and full-duplex exactly as in the two-replica experiments).
+#[derive(Debug, Clone)]
+pub struct Topology {
+    config: LinkConfig,
+    nodes: usize,
+    links: BTreeMap<(usize, usize), SimLink>,
+    sent: Vec<usize>,
+    received: Vec<usize>,
+}
+
+impl Topology {
+    /// Creates a full-mesh topology over `nodes` nodes; every link uses
+    /// `config`.
+    pub fn full_mesh(nodes: usize, config: LinkConfig) -> Self {
+        assert!(nodes >= 2, "a topology needs at least two nodes");
+        Topology {
+            config,
+            nodes,
+            links: BTreeMap::new(),
+            sent: vec![0; nodes],
+            received: vec![0; nodes],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// The shared link configuration.
+    pub fn config(&self) -> LinkConfig {
+        self.config
+    }
+
+    /// Number of links that have carried at least one message.
+    pub fn active_links(&self) -> usize {
+        self.links.len()
+    }
+
+    fn pair(&self, a: usize, b: usize) -> (usize, usize) {
+        assert!(a != b, "no self-links");
+        assert!(
+            a < self.nodes && b < self.nodes,
+            "node id out of range ({a}, {b} vs {} nodes)",
+            self.nodes
+        );
+        (a.min(b), a.max(b))
+    }
+
+    /// The link between `a` and `b` (created on first use).
+    pub fn link_mut(&mut self, a: usize, b: usize) -> &mut SimLink {
+        let key = self.pair(a, b);
+        let config = self.config;
+        self.links
+            .entry(key)
+            .or_insert_with(|| SimLink::new(config))
+    }
+
+    /// Sends `bytes` from node `from` to node `to` at virtual time
+    /// `sent_at`, returning the arrival time (see [`SimLink::send`]).
+    pub fn send(&mut self, from: usize, to: usize, sent_at: f64, bytes: usize) -> f64 {
+        let (lo, _hi) = self.pair(from, to);
+        let direction = if from == lo {
+            LinkDirection::ClientToServer
+        } else {
+            LinkDirection::ServerToClient
+        };
+        self.sent[from] += bytes;
+        self.received[to] += bytes;
+        self.link_mut(from, to).send(direction, sent_at, bytes)
+    }
+
+    /// Bytes node `id` has sent across all of its links.
+    pub fn bytes_sent(&self, id: usize) -> usize {
+        self.sent[id]
+    }
+
+    /// Bytes node `id` has received across all of its links.
+    pub fn bytes_received(&self, id: usize) -> usize {
+        self.received[id]
+    }
+
+    /// Total bytes carried by every link.
+    pub fn total_bytes(&self) -> usize {
+        self.links.values().map(SimLink::total_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn links_are_created_lazily_and_shared_per_pair() {
+        let mut topo = Topology::full_mesh(4, LinkConfig::unlimited());
+        assert_eq!(topo.active_links(), 0);
+        topo.send(0, 1, 0.0, 100);
+        topo.send(1, 0, 0.0, 50); // same link, other direction
+        topo.send(2, 3, 0.0, 10);
+        assert_eq!(topo.active_links(), 2);
+        assert_eq!(topo.total_bytes(), 160);
+    }
+
+    #[test]
+    fn per_node_counters_track_both_sides() {
+        let mut topo = Topology::full_mesh(3, LinkConfig::unlimited());
+        topo.send(0, 1, 0.0, 100);
+        topo.send(1, 2, 0.0, 30);
+        assert_eq!(topo.bytes_sent(0), 100);
+        assert_eq!(topo.bytes_received(1), 100);
+        assert_eq!(topo.bytes_sent(1), 30);
+        assert_eq!(topo.bytes_received(2), 30);
+        assert_eq!(topo.bytes_sent(2), 0);
+    }
+
+    #[test]
+    fn pairs_serialize_independently() {
+        // 1 MB at 8 Mbps = 1 s. Two different pairs do not queue behind each
+        // other; the same pair and direction does.
+        let mut topo = Topology::full_mesh(4, LinkConfig::with_mbps(8.0));
+        let a = topo.send(0, 1, 0.0, 1_000_000);
+        let b = topo.send(2, 3, 0.0, 1_000_000);
+        let c = topo.send(0, 1, 0.0, 1_000_000);
+        assert!((a - 1.05).abs() < 1e-6);
+        assert!((b - 1.05).abs() < 1e-6);
+        assert!((c - 2.05).abs() < 1e-6, "same pair queues: {c}");
+    }
+
+    #[test]
+    fn directions_of_a_pair_are_full_duplex() {
+        let mut topo = Topology::full_mesh(2, LinkConfig::with_mbps(8.0));
+        let down = topo.send(0, 1, 0.0, 1_000_000);
+        let up = topo.send(1, 0, 0.0, 1_000_000);
+        assert!((down - up).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "no self-links")]
+    fn self_links_are_rejected() {
+        let mut topo = Topology::full_mesh(2, LinkConfig::unlimited());
+        topo.send(1, 1, 0.0, 1);
+    }
+}

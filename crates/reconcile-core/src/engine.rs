@@ -22,6 +22,14 @@ pub enum EngineMessage {
     Payload(Vec<u8>),
     /// Client → server: interactive follow-up request.
     Request(Vec<u8>),
+    /// Client → server: push the next unprompted payload.
+    ///
+    /// In a point-to-point conversation a streaming server just keeps
+    /// pushing; on a *multiplexed* link (many interleaved sessions sharing
+    /// one transport, see [`crate::mux`]) the server cannot know which
+    /// sessions still want data, so the client turns
+    /// [`Progress::AwaitStream`] into an explicit 1-byte `Continue` frame.
+    Continue,
     /// Client → server: reconciliation finished, stop serving.
     Done,
 }
@@ -33,15 +41,15 @@ impl EngineMessage {
             EngineMessage::Open(b) | EngineMessage::Payload(b) | EngineMessage::Request(b) => {
                 b.len() + 1
             }
-            EngineMessage::Done => 1,
+            EngineMessage::Continue | EngineMessage::Done => 1,
         }
     }
 
-    /// The raw payload bytes (empty for [`EngineMessage::Done`]).
+    /// The raw payload bytes (empty for the payload-less variants).
     pub fn bytes(&self) -> &[u8] {
         match self {
             EngineMessage::Open(b) | EngineMessage::Payload(b) | EngineMessage::Request(b) => b,
-            EngineMessage::Done => &[],
+            EngineMessage::Continue | EngineMessage::Done => &[],
         }
     }
 
@@ -53,6 +61,7 @@ impl EngineMessage {
             EngineMessage::Payload(b) => (1, b.as_slice()),
             EngineMessage::Request(b) => (2, b.as_slice()),
             EngineMessage::Done => (3, &[][..]),
+            EngineMessage::Continue => (4, &[][..]),
         };
         let mut out = Vec::with_capacity(1 + payload.len());
         out.push(tag);
@@ -70,6 +79,7 @@ impl EngineMessage {
             1 => EngineMessage::Payload(payload.to_vec()),
             2 => EngineMessage::Request(payload.to_vec()),
             3 if payload.is_empty() => EngineMessage::Done,
+            4 if payload.is_empty() => EngineMessage::Continue,
             _ => return Err(EngineError::WireFormat("unknown frame tag")),
         })
     }
@@ -109,6 +119,12 @@ impl<B: ReconcileBackend> ServerEngine<B> {
                 }
                 let payload = self.backend.serve(&mut self.server, Some(req))?;
                 Ok(Some(EngineMessage::Payload(payload)))
+            }
+            EngineMessage::Continue => {
+                if self.finished {
+                    return Err(EngineError::Protocol("continue after completion"));
+                }
+                Ok(Some(self.next_payload()?))
             }
             EngineMessage::Done => {
                 self.finished = true;

@@ -35,11 +35,15 @@ mod backend;
 pub mod backends;
 mod engine;
 mod error;
+pub mod mux;
+pub mod shard;
 pub mod wirefmt;
 
 pub use backend::{Progress, ReconcileBackend};
 pub use engine::{run_in_memory, ClientEngine, EngineMessage, RunReport, ServerEngine};
 pub use error::{EngineError, Result};
+pub use mux::{ClientMux, MuxFrame, ServerMux, MUX_HEADER_BYTES};
+pub use shard::{SessionId, ShardId, ShardPartitioner};
 
 /// Re-export of the difference type every backend emits.
 pub use riblt::SetDifference;

@@ -1,0 +1,556 @@
+//! Session multiplexing: many interleaved engine sessions over one link.
+//!
+//! One node serving many peers (and many shards per peer) cannot afford a
+//! connection per session. This module tags every [`EngineMessage`] with a
+//! `(session, shard)` pair so a single ordered byte transport carries any
+//! number of concurrent reconciliation conversations:
+//!
+//! * [`MuxFrame`] — the wire unit: 4-byte session id, 2-byte shard id, then
+//!   the self-describing engine-message frame. Decoding never panics on
+//!   truncated or corrupt input.
+//! * [`ServerMux`] — routes incoming frames to per-`(session, shard)`
+//!   [`ServerEngine`]s, creating them on `Open` through a caller-supplied
+//!   factory and retiring them on `Done`.
+//! * [`ClientMux`] — drives one session's per-shard [`ClientEngine`]s,
+//!   translating the streaming flow's "keep pushing" into explicit
+//!   [`EngineMessage::Continue`] frames (on a shared link the server must
+//!   not push unprompted), and absorbing payloads for independent shards in
+//!   parallel on a `std::thread` worker pool.
+
+use std::collections::HashMap;
+
+use riblt::SetDifference;
+
+use crate::backend::ReconcileBackend;
+use crate::engine::{ClientEngine, EngineMessage, ServerEngine};
+use crate::error::{EngineError, Result};
+use crate::shard::{SessionId, ShardId};
+
+/// Bytes of mux header prepended to every engine-message frame.
+pub const MUX_HEADER_BYTES: usize = 6;
+
+/// One multiplexed frame: an engine message addressed to a session/shard.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MuxFrame {
+    /// The conversation (one per peer, typically) this frame belongs to.
+    pub session: SessionId,
+    /// The keyspace shard within the session.
+    pub shard: ShardId,
+    /// The engine message itself.
+    pub message: EngineMessage,
+}
+
+impl MuxFrame {
+    /// Creates a frame.
+    pub fn new(session: SessionId, shard: ShardId, message: EngineMessage) -> Self {
+        MuxFrame {
+            session,
+            shard,
+            message,
+        }
+    }
+
+    /// Size of the frame on the wire (mux header + tagged message).
+    pub fn wire_size(&self) -> usize {
+        MUX_HEADER_BYTES + self.message.wire_size()
+    }
+
+    /// Serializes the frame: `session` (u32 LE), `shard` (u16 LE), then the
+    /// engine-message frame.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let inner = self.message.to_frame();
+        let mut out = Vec::with_capacity(MUX_HEADER_BYTES + inner.len());
+        out.extend_from_slice(&self.session.to_le_bytes());
+        out.extend_from_slice(&self.shard.to_le_bytes());
+        out.extend_from_slice(&inner);
+        out
+    }
+
+    /// Inverse of [`Self::to_bytes`]. Truncated or corrupt input yields
+    /// [`EngineError::WireFormat`], never a panic.
+    pub fn from_bytes(bytes: &[u8]) -> Result<MuxFrame> {
+        if bytes.len() < MUX_HEADER_BYTES + 1 {
+            return Err(EngineError::WireFormat("truncated mux frame"));
+        }
+        let session = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+        let shard = u16::from_le_bytes([bytes[4], bytes[5]]);
+        let message = EngineMessage::from_frame(&bytes[MUX_HEADER_BYTES..])?;
+        Ok(MuxFrame {
+            session,
+            shard,
+            message,
+        })
+    }
+}
+
+/// Server-side demultiplexer: one [`ServerEngine`] per `(session, shard)`.
+///
+/// The factory is invoked once per `Open` frame; a typical implementation
+/// builds the engine over the reference items of that shard. Engines are
+/// dropped as soon as their client signals `Done`, so long-lived servers do
+/// not accumulate state for finished conversations.
+pub struct ServerMux<B, F>
+where
+    B: ReconcileBackend,
+    F: FnMut(SessionId, ShardId) -> ServerEngine<B>,
+{
+    factory: F,
+    engines: HashMap<(SessionId, ShardId), ServerEngine<B>>,
+}
+
+impl<B, F> ServerMux<B, F>
+where
+    B: ReconcileBackend,
+    F: FnMut(SessionId, ShardId) -> ServerEngine<B>,
+{
+    /// Creates a demultiplexer around an engine factory.
+    pub fn new(factory: F) -> Self {
+        ServerMux {
+            factory,
+            engines: HashMap::new(),
+        }
+    }
+
+    /// Number of live `(session, shard)` engines.
+    pub fn active_sessions(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// Handles one incoming frame, returning the reply frame (if any)
+    /// addressed to the same `(session, shard)`.
+    pub fn handle(&mut self, frame: &MuxFrame) -> Result<Option<MuxFrame>> {
+        let key = (frame.session, frame.shard);
+        match &frame.message {
+            EngineMessage::Open(_) => {
+                if self.engines.contains_key(&key) {
+                    return Err(EngineError::Protocol("duplicate open for session/shard"));
+                }
+                let mut engine = (self.factory)(frame.session, frame.shard);
+                let reply = engine.handle(&frame.message)?;
+                self.engines.insert(key, engine);
+                Ok(reply.map(|m| MuxFrame::new(frame.session, frame.shard, m)))
+            }
+            EngineMessage::Done => {
+                // Retire the engine; a Done for an unknown session is
+                // harmless (e.g. duplicate delivery after retirement).
+                self.engines.remove(&key);
+                Ok(None)
+            }
+            _ => {
+                let engine = self
+                    .engines
+                    .get_mut(&key)
+                    .ok_or(EngineError::Protocol("frame for unknown session/shard"))?;
+                let reply = engine.handle(&frame.message)?;
+                Ok(reply.map(|m| MuxFrame::new(frame.session, frame.shard, m)))
+            }
+        }
+    }
+}
+
+impl<B, F> std::fmt::Debug for ServerMux<B, F>
+where
+    B: ReconcileBackend,
+    F: FnMut(SessionId, ShardId) -> ServerEngine<B>,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerMux")
+            .field("active_sessions", &self.engines.len())
+            .finish()
+    }
+}
+
+struct ShardClient<B: ReconcileBackend> {
+    engine: ClientEngine<B>,
+    done: bool,
+}
+
+/// Client-side multiplexer: one session, many per-shard client engines.
+#[derive(Debug)]
+pub struct ClientMux<B: ReconcileBackend> {
+    session: SessionId,
+    shards: Vec<Option<ShardClient<B>>>,
+}
+
+impl<B: ReconcileBackend> std::fmt::Debug for ShardClient<B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardClient")
+            .field("done", &self.done)
+            .finish()
+    }
+}
+
+impl<B: ReconcileBackend> ClientMux<B> {
+    /// Creates an empty multiplexer for `session`.
+    pub fn new(session: SessionId) -> Self {
+        ClientMux {
+            session,
+            shards: Vec::new(),
+        }
+    }
+
+    /// The session id every emitted frame carries.
+    pub fn session(&self) -> SessionId {
+        self.session
+    }
+
+    /// Registers the client endpoint for `shard` (built over the local items
+    /// of that shard).
+    pub fn insert_shard(&mut self, shard: ShardId, engine: ClientEngine<B>) {
+        let idx = usize::from(shard);
+        if self.shards.len() <= idx {
+            self.shards.resize_with(idx + 1, || None);
+        }
+        assert!(self.shards[idx].is_none(), "shard registered twice");
+        self.shards[idx] = Some(ShardClient {
+            engine,
+            done: false,
+        });
+    }
+
+    /// Opening frames for every registered shard.
+    pub fn opens(&mut self) -> Vec<MuxFrame> {
+        let session = self.session;
+        self.shards
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(shard, slot)| {
+                slot.as_mut()
+                    .map(|sc| MuxFrame::new(session, shard as ShardId, sc.engine.open()))
+            })
+            .collect()
+    }
+
+    /// True once every shard has completed.
+    pub fn all_done(&self) -> bool {
+        self.shards.iter().flatten().all(|sc| sc.done)
+    }
+
+    /// Total scheme units consumed across all shards.
+    pub fn units(&self) -> usize {
+        self.shards
+            .iter()
+            .flatten()
+            .map(|sc| sc.engine.units())
+            .sum()
+    }
+
+    fn reply_frame(
+        session: SessionId,
+        shard: ShardId,
+        sc: &mut ShardClient<B>,
+        reply: Option<EngineMessage>,
+    ) -> MuxFrame {
+        match reply {
+            Some(msg @ EngineMessage::Done) => {
+                sc.done = true;
+                MuxFrame::new(session, shard, msg)
+            }
+            Some(msg) => MuxFrame::new(session, shard, msg),
+            // Streaming flow: ask explicitly on a shared link.
+            None => MuxFrame::new(session, shard, EngineMessage::Continue),
+        }
+    }
+
+    /// Handles one payload frame, returning the client's next frame for that
+    /// shard (`Request`, `Continue`, or `Done`).
+    pub fn handle(&mut self, frame: &MuxFrame) -> Result<MuxFrame> {
+        if frame.session != self.session {
+            return Err(EngineError::Protocol("frame for another session"));
+        }
+        let sc = self
+            .shards
+            .get_mut(usize::from(frame.shard))
+            .and_then(Option::as_mut)
+            .ok_or(EngineError::Protocol("frame for unknown shard"))?;
+        let reply = sc.engine.handle(&frame.message)?;
+        Ok(Self::reply_frame(self.session, frame.shard, sc, reply))
+    }
+
+    /// Handles a batch of payload frames for *distinct* shards, absorbing
+    /// them in parallel on up to `threads` `std::thread` workers.
+    ///
+    /// This is the hot half of sharded reconciliation: each shard's decode
+    /// is independent, so the per-payload peeling work scales across cores.
+    /// Frames must target distinct shards (one outstanding payload per shard,
+    /// which the request-driven flow guarantees).
+    pub fn handle_parallel(&mut self, frames: &[MuxFrame], threads: usize) -> Result<Vec<MuxFrame>>
+    where
+        B: Send,
+        B::Client: Send,
+    {
+        if threads <= 1 || frames.len() <= 1 {
+            return frames.iter().map(|f| self.handle(f)).collect();
+        }
+        let session = self.session;
+        // Pair each frame with exclusive access to its shard's client.
+        let mut by_shard: HashMap<ShardId, &MuxFrame> = HashMap::with_capacity(frames.len());
+        for frame in frames {
+            if frame.session != session {
+                return Err(EngineError::Protocol("frame for another session"));
+            }
+            if by_shard.insert(frame.shard, frame).is_some() {
+                return Err(EngineError::Protocol("duplicate shard in parallel batch"));
+            }
+        }
+        let mut work: Vec<(ShardId, &mut ShardClient<B>, &MuxFrame)> = Vec::new();
+        for (idx, slot) in self.shards.iter_mut().enumerate() {
+            let shard = idx as ShardId;
+            if let (Some(sc), Some(frame)) = (slot.as_mut(), by_shard.remove(&shard)) {
+                work.push((shard, sc, frame));
+            }
+        }
+        if !by_shard.is_empty() {
+            return Err(EngineError::Protocol("frame for unknown shard"));
+        }
+
+        let chunk = work.len().div_ceil(threads);
+        let mut results: Vec<Result<MuxFrame>> = Vec::with_capacity(work.len());
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for batch in work.chunks_mut(chunk) {
+                handles.push(scope.spawn(move || {
+                    batch
+                        .iter_mut()
+                        .map(|(shard, sc, frame)| {
+                            let reply = sc.engine.handle(&frame.message)?;
+                            Ok(Self::reply_frame(session, *shard, sc, reply))
+                        })
+                        .collect::<Vec<Result<MuxFrame>>>()
+                }));
+            }
+            for handle in handles {
+                results.extend(handle.join().expect("worker thread panicked"));
+            }
+        });
+        results.into_iter().collect()
+    }
+
+    /// Consumes the multiplexer, returning the recovered difference of every
+    /// shard (index = shard id).
+    pub fn into_differences(self) -> Result<Vec<SetDifference<B::Item>>> {
+        self.shards
+            .into_iter()
+            .flatten()
+            .map(|sc| {
+                if !sc.engine.is_done() {
+                    return Err(EngineError::DecodeIncomplete);
+                }
+                sc.engine.into_difference()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backends::RibltBackend;
+    use crate::shard::ShardPartitioner;
+    use riblt::FixedBytes;
+    use riblt_hash::{SipKey, SplitMix64};
+
+    type Item = FixedBytes<8>;
+
+    fn items(range: std::ops::Range<u64>) -> Vec<Item> {
+        range.map(Item::from_u64).collect()
+    }
+
+    /// Drives `sessions` independent sharded conversations to completion
+    /// over one simulated ordered transport, interleaving all frames.
+    #[test]
+    fn many_sessions_interleave_over_one_link() {
+        let shards = 4u16;
+        let partitioner = ShardPartitioner::new(SipKey::default(), shards);
+        let backend = RibltBackend::<Item>::new(8, 8);
+
+        let server_items = items(0..2_000);
+        let server_parts = partitioner.partition(&server_items);
+        let backend_for_server = backend.clone();
+        let mut server = ServerMux::new(move |_session, shard| {
+            ServerEngine::new(
+                backend_for_server.clone(),
+                &server_parts[usize::from(shard)],
+            )
+        });
+
+        // Three peers at different staleness share the link.
+        let mut clients = Vec::new();
+        let mut expected = Vec::new();
+        for (session, missing) in [(7u32, 3u64), (8, 17), (9, 60)] {
+            let local = items(missing..2_000);
+            let parts = partitioner.partition(&local);
+            let mut mux = ClientMux::new(session);
+            for (shard, part) in parts.iter().enumerate() {
+                mux.insert_shard(shard as ShardId, ClientEngine::new(backend.clone(), part));
+            }
+            clients.push(mux);
+            expected.push(missing);
+        }
+
+        // All opens from all sessions, then strict round-robin over replies:
+        // the transport carries bytes; both ends resolve (session, shard).
+        let mut wire: Vec<Vec<u8>> = clients
+            .iter_mut()
+            .flat_map(|c| c.opens())
+            .map(|f| f.to_bytes())
+            .collect();
+        let mut guard = 0;
+        while !wire.is_empty() {
+            guard += 1;
+            assert!(guard < 10_000, "failed to converge");
+            let mut next = Vec::new();
+            for bytes in &wire {
+                let frame = MuxFrame::from_bytes(bytes).unwrap();
+                if let Some(reply) = server.handle(&frame).unwrap() {
+                    let reply_bytes = reply.to_bytes();
+                    let payload = MuxFrame::from_bytes(&reply_bytes).unwrap();
+                    let client = clients
+                        .iter_mut()
+                        .find(|c| c.session() == payload.session)
+                        .unwrap();
+                    next.push(client.handle(&payload).unwrap().to_bytes());
+                }
+            }
+            wire = next;
+        }
+
+        assert_eq!(server.active_sessions(), 0, "engines retired on Done");
+        for (mux, missing) in clients.into_iter().zip(expected) {
+            assert!(mux.all_done());
+            let diffs = mux.into_differences().unwrap();
+            let total: usize = diffs.iter().map(|d| d.remote_only.len()).sum();
+            assert_eq!(total as u64, missing);
+            assert!(diffs.iter().all(|d| d.local_only.is_empty()));
+        }
+    }
+
+    #[test]
+    fn parallel_absorb_matches_sequential() {
+        let shards = 8u16;
+        let partitioner = ShardPartitioner::new(SipKey::default(), shards);
+        let backend = RibltBackend::<Item>::new(8, 16);
+        let server_items = items(0..3_000);
+        let client_items = items(120..3_000);
+        let server_parts = partitioner.partition(&server_items);
+        let client_parts = partitioner.partition(&client_items);
+
+        let run = |threads: usize| {
+            let backend_for_server = backend.clone();
+            let parts = server_parts.clone();
+            let mut server = ServerMux::new(move |_s, shard| {
+                ServerEngine::new(backend_for_server.clone(), &parts[usize::from(shard)])
+            });
+            let mut mux = ClientMux::new(1);
+            for (shard, part) in client_parts.iter().enumerate() {
+                mux.insert_shard(shard as ShardId, ClientEngine::new(backend.clone(), part));
+            }
+            let mut outgoing = mux.opens();
+            let mut guard = 0;
+            while !outgoing.is_empty() {
+                guard += 1;
+                assert!(guard < 10_000);
+                let mut payloads = Vec::new();
+                for frame in &outgoing {
+                    if let Some(reply) = server.handle(frame).unwrap() {
+                        payloads.push(reply);
+                    }
+                }
+                outgoing = mux
+                    .handle_parallel(&payloads, threads)
+                    .unwrap()
+                    .into_iter()
+                    .filter(|f| {
+                        f.message != EngineMessage::Done || {
+                            // Done frames still go to the server to retire state.
+                            server.handle(f).unwrap();
+                            false
+                        }
+                    })
+                    .collect();
+            }
+            let mut remote: Vec<u64> = mux
+                .into_differences()
+                .unwrap()
+                .into_iter()
+                .flat_map(|d| d.remote_only)
+                .map(|s| s.to_u64())
+                .collect();
+            remote.sort_unstable();
+            remote
+        };
+
+        let sequential = run(1);
+        let parallel = run(4);
+        assert_eq!(sequential, parallel);
+        assert_eq!(sequential, (0..120u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn mux_frame_roundtrip() {
+        for message in [
+            EngineMessage::Open(vec![1, 2, 3]),
+            EngineMessage::Payload(vec![0; 100]),
+            EngineMessage::Request(Vec::new()),
+            EngineMessage::Continue,
+            EngineMessage::Done,
+        ] {
+            let frame = MuxFrame::new(0xdead_beef, 513, message);
+            let bytes = frame.to_bytes();
+            assert_eq!(bytes.len(), frame.wire_size());
+            assert_eq!(MuxFrame::from_bytes(&bytes).unwrap(), frame);
+        }
+    }
+
+    #[test]
+    fn corrupt_and_truncated_mux_frames_never_panic() {
+        let frame = MuxFrame::new(3, 2, EngineMessage::Payload(vec![9; 64]));
+        let bytes = frame.to_bytes();
+        // Every truncation point.
+        for cut in 0..bytes.len() {
+            let _ = MuxFrame::from_bytes(&bytes[..cut]);
+        }
+        // Random garbage of every small length, plus random corruptions.
+        let mut gen = SplitMix64::new(0x5e55_10f1);
+        for len in 0..64usize {
+            let mut garbage = vec![0u8; len];
+            gen.fill_bytes(&mut garbage);
+            let _ = MuxFrame::from_bytes(&garbage);
+            let _ = EngineMessage::from_frame(&garbage);
+        }
+        for _ in 0..500 {
+            let mut corrupted = bytes.clone();
+            let pos = (gen.next_u64() as usize) % corrupted.len();
+            corrupted[pos] ^= (gen.next_u64() % 255) as u8 + 1;
+            let _ = MuxFrame::from_bytes(&corrupted);
+        }
+    }
+
+    #[test]
+    fn server_rejects_unknown_session_and_duplicate_open() {
+        let backend = RibltBackend::<Item>::new(8, 4);
+        let server_items = items(0..100);
+        let backend_for_server = backend.clone();
+        let mut server = ServerMux::new(move |_s, _sh| {
+            ServerEngine::new(backend_for_server.clone(), &server_items)
+        });
+        let cont = MuxFrame::new(1, 0, EngineMessage::Continue);
+        assert!(matches!(
+            server.handle(&cont),
+            Err(EngineError::Protocol(_))
+        ));
+        let mut client = ClientEngine::new(backend, &items(0..100));
+        let open = MuxFrame::new(1, 0, client.open());
+        assert!(server.handle(&open).unwrap().is_some());
+        let open2 = MuxFrame::new(1, 0, EngineMessage::Open(open.message.bytes().to_vec()));
+        assert!(matches!(
+            server.handle(&open2),
+            Err(EngineError::Protocol(_))
+        ));
+        // Done retires; a second Done is harmless.
+        let done = MuxFrame::new(1, 0, EngineMessage::Done);
+        assert!(server.handle(&done).unwrap().is_none());
+        assert!(server.handle(&done).unwrap().is_none());
+        assert_eq!(server.active_sessions(), 0);
+    }
+}

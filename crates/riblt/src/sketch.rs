@@ -50,6 +50,14 @@ impl<S: Symbol> Sketch<S> {
         }
     }
 
+    /// Wraps already-computed coded symbols (e.g. a cell range received from
+    /// a peer's [`SketchCache`], minus the local contribution) as a sketch so
+    /// it can be decoded. The caller must pass the key and α the cells were
+    /// produced under.
+    pub fn from_cells(cells: Vec<CodedSymbol<S>>, key: SipKey, alpha: f64) -> Self {
+        Sketch { cells, key, alpha }
+    }
+
     /// Builds the sketch of a whole set in one call.
     pub fn from_set<'a>(m: usize, items: impl IntoIterator<Item = &'a S>) -> Self
     where
@@ -229,12 +237,17 @@ impl<S: Symbol> SketchCache<S> {
 
     /// Creates an empty cache with a secret checksum key.
     pub fn with_key(key: SipKey) -> Self {
+        Self::with_key_and_alpha(key, DEFAULT_ALPHA)
+    }
+
+    /// Creates an empty cache with an explicit mapping parameter α.
+    pub fn with_key_and_alpha(key: SipKey, alpha: f64) -> Self {
         SketchCache {
             cells: Vec::new(),
-            additions: CodingWindow::new(key, DEFAULT_ALPHA),
-            removals: CodingWindow::new(key, DEFAULT_ALPHA),
+            additions: CodingWindow::new(key, alpha),
+            removals: CodingWindow::new(key, alpha),
             key,
-            alpha: DEFAULT_ALPHA,
+            alpha,
         }
     }
 
@@ -257,6 +270,11 @@ impl<S: Symbol> SketchCache<S> {
     /// The checksum key.
     pub fn key(&self) -> SipKey {
         self.key
+    }
+
+    /// The mapping parameter α.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
     }
 
     fn patch_prefix(&mut self, hashed: &HashedSymbol<S>, direction: Direction) -> IndexMapping {
@@ -317,6 +335,18 @@ impl<S: Symbol> SketchCache<S> {
     pub fn prefix(&mut self, m: usize) -> &[CodedSymbol<S>] {
         self.ensure_len(m);
         &self.cells[..m]
+    }
+
+    /// Returns the coded symbols `[start, start + len)`, materializing the
+    /// prefix as far as needed.
+    ///
+    /// This is the multi-peer serving primitive: every concurrent session
+    /// tracks only its own offset into the (universal) sequence and reads
+    /// ranges out of the *same* cache — the symbols are encoded once no
+    /// matter how many peers, at whatever staleness, are being served.
+    pub fn range(&mut self, start: usize, len: usize) -> &[CodedSymbol<S>] {
+        self.ensure_len(start + len);
+        &self.cells[start..start + len]
     }
 
     /// Copies the first `m` coded symbols into a standalone [`Sketch`].
@@ -480,6 +510,47 @@ mod tests {
             .unwrap();
         assert_eq!(to_set(&diff.remote_only), (0..50).collect());
         assert_eq!(to_set(&diff.local_only), (2000..2050).collect());
+    }
+
+    #[test]
+    fn one_cache_serves_peers_at_different_staleness() {
+        // Two peers with different differences read ranges out of the same
+        // cache; each subtracts its own contribution and decodes. The cache
+        // is never re-encoded per peer (universality, §2).
+        let mut cache = SketchCache::<Sym>::new();
+        for i in 0..1_000u64 {
+            cache.add_symbol(Sym::from_u64(i));
+        }
+        // Peer 1 misses 5 items; peer 2 misses 40.
+        for (peer_items, missing) in [(syms(5..1_000), 0..5u64), (syms(40..1_000), 0..40u64)] {
+            let m = 16 * missing.clone().count().max(1);
+            let served: Vec<_> = cache.range(0, m).to_vec();
+            let own = Sketch::from_set(m, peer_items.iter());
+            let mut diff_cells = served;
+            for (cell, mine) in diff_cells.iter_mut().zip(own.cells()) {
+                cell.subtract(mine);
+            }
+            let diff = Sketch::from_cells(diff_cells, cache.key(), cache.alpha())
+                .decode()
+                .unwrap();
+            assert_eq!(to_set(&diff.remote_only), missing.collect());
+            assert!(diff.local_only.is_empty());
+        }
+    }
+
+    #[test]
+    fn range_windows_agree_with_prefix() {
+        let mut cache = SketchCache::<Sym>::new();
+        for i in 0..300u64 {
+            cache.add_symbol(Sym::from_u64(i));
+        }
+        let prefix = cache.prefix(100).to_vec();
+        let window = cache.range(40, 30).to_vec();
+        assert_eq!(window, prefix[40..70]);
+        // Ranges past the materialized prefix extend it on demand.
+        let tail = cache.range(100, 20).to_vec();
+        assert_eq!(cache.len(), 120);
+        assert_eq!(tail, cache.cells()[100..120]);
     }
 
     #[test]

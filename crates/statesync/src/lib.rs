@@ -17,6 +17,7 @@ pub mod chain;
 pub mod heal_backend;
 pub mod ledger;
 pub mod metrics;
+pub mod shard_sync;
 pub mod sync;
 
 pub use chain::{BlockUpdate, Chain, ChainConfig};
@@ -26,6 +27,9 @@ pub use ledger::{
     LedgerItem, ACCOUNT_LEN, ADDRESS_LEN, ITEM_LEN,
 };
 pub use metrics::SyncOutcome;
+pub use shard_sync::{
+    sync_sharded_riblt, sync_sharded_with_backend, ShardedRibltConfig, ShardedSyncConfig,
+};
 pub use sync::{
     sync_with_backend, sync_with_heal, sync_with_riblt, HealSyncConfig, RibltSyncConfig, SyncConfig,
 };

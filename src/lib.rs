@@ -6,6 +6,7 @@
 //! (`riblt`, `iblt`, `pinsketch`, …) in real applications.
 
 pub use analysis;
+pub use cluster;
 pub use iblt;
 pub use merkle_trie;
 pub use met_iblt;

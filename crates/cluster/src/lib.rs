@@ -57,5 +57,5 @@ mod pairsync;
 pub mod pool;
 
 pub use gossip::{Cluster, ClusterConfig, ConvergenceReport, NodeStats, RoundReport};
-pub use node::{Node, NodeConfig};
+pub use node::{set_digest, Node, NodeConfig};
 pub use pairsync::{reconcile_pair, PairOutcome, PairSyncConfig};

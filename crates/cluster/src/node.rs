@@ -41,6 +41,28 @@ impl NodeConfig {
     }
 }
 
+/// Order-independent digest of an item set under a cluster key, for cheap
+/// convergence checks (equal sets ⇒ equal digests; the converse holds up to
+/// hash collisions — verify exactly where it matters).
+///
+/// This is the digest [`Node::digest`] reports and the `reconciled` admin
+/// socket's `STATS` line carries, so any process holding the same items and
+/// key — a cluster node, the daemon, a remote client after a sync — computes
+/// the same value.
+pub fn set_digest<'a, S, I>(items: I, key: SipKey) -> u64
+where
+    S: Symbol + 'a,
+    I: IntoIterator<Item = &'a S>,
+{
+    let mut acc = 0x9e37_79b9_7f4a_7c15u64;
+    let mut len = 0u64;
+    for item in items {
+        acc ^= item.hash_with(key);
+        len += 1;
+    }
+    acc ^ len
+}
+
 /// One cluster node: an item set plus one shared sketch cache per shard.
 #[derive(Debug, Clone)]
 pub struct Node<S: Symbol + Ord> {
@@ -146,15 +168,10 @@ impl<S: Symbol + Ord> Node<S> {
         self.caches[usize::from(shard)].range(start, len)
     }
 
-    /// Order-independent digest of the item set, for cheap convergence
-    /// checks across a cluster (equal sets ⇒ equal digests; the converse
-    /// holds up to hash collisions — verify exactly where it matters).
+    /// Order-independent digest of the item set (see [`set_digest`]), for
+    /// cheap convergence checks across a cluster.
     pub fn digest(&self) -> u64 {
-        let mut acc = 0x9e37_79b9_7f4a_7c15u64 ^ (self.items.len() as u64);
-        for item in &self.items {
-            acc ^= item.hash_with(self.config.key);
-        }
-        acc
+        set_digest(self.items.iter(), self.config.key)
     }
 }
 

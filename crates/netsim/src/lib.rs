@@ -7,17 +7,18 @@
 //!   accounting, for the N-node cluster experiments.
 //! * [`TimeSeries`] — byte-delivery accounting for bandwidth traces
 //!   (Fig. 13).
-//! * [`write_frame`] / [`read_frame`] — length-prefixed framing for the real
-//!   TCP examples.
+//! * [`write_frame`] / [`read_frame`] — re-exports of the canonical
+//!   length-prefixed frame codec, which lives in `reconcile_core::framing`
+//!   (one implementation over any `Read + Write` serves the simulator
+//!   examples, the `reconciled` daemon, and the tests alike).
 
 #![warn(missing_docs)]
 
 mod link;
-mod tcp;
 mod timeseries;
 mod topology;
 
 pub use link::{LinkConfig, LinkDirection, SimLink};
-pub use tcp::{read_frame, write_frame, MAX_FRAME_BYTES};
+pub use reconcile_core::framing::{read_frame, write_frame, MAX_FRAME_BYTES};
 pub use timeseries::TimeSeries;
 pub use topology::Topology;

@@ -22,4 +22,4 @@ pub use self::iblt::{IbltBackend, IbltClient, IbltServer};
 pub use self::irregular::{IrregularClient, IrregularRibltBackend, IrregularServer};
 pub use self::met::{MetClient, MetIbltBackend, MetServer};
 pub use self::pinsketch::{PinClient, PinItem, PinServer, PinSketchBackend};
-pub use self::riblt::{RibltBackend, RibltClient, RibltServer};
+pub use self::riblt::{RibltBackend, RibltClient, RibltServer, RIBLT_STREAM_MAGIC};

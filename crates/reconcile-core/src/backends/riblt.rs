@@ -9,8 +9,13 @@ use crate::backend::{Progress, ReconcileBackend};
 use crate::error::Result;
 use crate::wirefmt::{encode_stream_open, validate_stream_open};
 
-/// Magic bytes of the opening request.
-const OPEN_MAGIC: [u8; 4] = *b"RLT0";
+/// Magic bytes of the opening request, exported so transports that serve
+/// the rateless stream outside the generic engine — e.g. the `reconciled`
+/// daemon answering opens straight from shared sketch caches — validate
+/// exactly the requests [`RibltBackend`] clients emit.
+pub const RIBLT_STREAM_MAGIC: [u8; 4] = *b"RLT0";
+
+const OPEN_MAGIC: [u8; 4] = RIBLT_STREAM_MAGIC;
 
 /// Rateless IBLT over `symbol_len`-byte items, streaming `batch_symbols`
 /// coded symbols per payload.

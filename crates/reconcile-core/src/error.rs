@@ -17,6 +17,14 @@ pub enum EngineError {
     DecodeIncomplete,
     /// A scheme-specific failure, carried as text.
     Backend(String),
+    /// The connection handshake failed: the peers disagree on protocol
+    /// version, keyed-hash fingerprint, or item length — or the peer
+    /// rejected ours. Reconciliation never starts on a failed handshake.
+    Handshake(String),
+    /// A transport I/O failure (real sockets and pipes only; the simulated
+    /// links cannot fail). The original [`std::io::ErrorKind`] is preserved
+    /// so callers can distinguish timeouts from disconnects.
+    Io(std::io::ErrorKind, String),
 }
 
 impl fmt::Display for EngineError {
@@ -28,11 +36,19 @@ impl fmt::Display for EngineError {
                 write!(f, "reconciliation did not complete within the budget")
             }
             EngineError::Backend(msg) => write!(f, "backend failure: {msg}"),
+            EngineError::Handshake(msg) => write!(f, "handshake failed: {msg}"),
+            EngineError::Io(kind, msg) => write!(f, "transport I/O error ({kind:?}): {msg}"),
         }
     }
 }
 
 impl std::error::Error for EngineError {}
+
+impl From<std::io::Error> for EngineError {
+    fn from(e: std::io::Error) -> Self {
+        EngineError::Io(e.kind(), e.to_string())
+    }
+}
 
 impl From<riblt::Error> for EngineError {
     fn from(e: riblt::Error) -> Self {

@@ -1,0 +1,237 @@
+//! Length-prefixed framing over any ordered byte stream.
+//!
+//! Every transport in the workspace that moves real bytes — localhost TCP in
+//! the examples, the `reconciled` daemon, OS pipes in tests — carries the
+//! same frame unit: a `u32` little-endian length followed by the payload.
+//! The codec is written once here against [`std::io::Read`] and
+//! [`std::io::Write`], so sockets, pipes, and in-memory cursors all share
+//! one implementation (the `netsim` crate re-exports these functions for
+//! backwards compatibility; it no longer carries its own copy).
+//!
+//! On top of the raw byte frames, [`write_mux_frame`] / [`read_mux_frame`]
+//! move whole [`MuxFrame`]s, which is the unit the session-multiplexed
+//! protocol (and the `reconciled` wire protocol after its handshake)
+//! exchanges.
+
+use std::io::{self, Read, Write};
+
+use crate::error::{EngineError, Result};
+use crate::mux::MuxFrame;
+
+/// Upper bound on a single frame (guards against malformed peers allocating
+/// unbounded memory).
+pub const MAX_FRAME_BYTES: usize = 64 * 1024 * 1024;
+
+/// Bytes of framing overhead per frame: the `u32` little-endian length
+/// prefix. Byte accounting at higher layers adds this per frame.
+pub const LENGTH_PREFIX_BYTES: usize = 4;
+
+/// Writes one length-prefixed frame.
+///
+/// Frames above [`MAX_FRAME_BYTES`] are rejected symmetrically with
+/// [`read_frame`]: a frame we would refuse to read must never be emitted,
+/// otherwise a conformant peer drops the connection mid-protocol.
+pub fn write_frame<W: Write>(writer: &mut W, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "frame exceeds MAX_FRAME_BYTES",
+        ));
+    }
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+    writer.write_all(&len.to_le_bytes())?;
+    writer.write_all(payload)?;
+    writer.flush()
+}
+
+/// Reads one length-prefixed frame. End-of-stream before a complete frame
+/// (even before the first byte) is [`io::ErrorKind::UnexpectedEof`]; use
+/// [`read_frame_or_eof`] when a close at a frame boundary is a normal
+/// outcome the caller wants to tell apart from truncation.
+pub fn read_frame<R: Read>(reader: &mut R) -> io::Result<Vec<u8>> {
+    read_frame_or_eof(reader)?
+        .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "stream ended before a frame"))
+}
+
+/// Reads one length-prefixed frame, returning `Ok(None)` on a clean
+/// end-of-stream — EOF *before any byte* of the frame. EOF after the frame
+/// started (a peer dying mid-frame) is still an
+/// [`io::ErrorKind::UnexpectedEof`] error, so connection accounting can
+/// distinguish orderly closes from truncation.
+pub fn read_frame_or_eof<R: Read>(reader: &mut R) -> io::Result<Option<Vec<u8>>> {
+    let mut len_bytes = [0u8; 4];
+    let mut filled = 0usize;
+    while filled < len_bytes.len() {
+        match reader.read(&mut len_bytes[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "stream ended inside a frame header",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame exceeds MAX_FRAME_BYTES",
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    reader.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// Writes one [`MuxFrame`] as a length-prefixed frame.
+pub fn write_mux_frame<W: Write>(writer: &mut W, frame: &MuxFrame) -> Result<()> {
+    write_frame(writer, &frame.to_bytes()).map_err(EngineError::from)
+}
+
+/// Reads one [`MuxFrame`] from a length-prefixed frame.
+///
+/// Transport failures surface as [`EngineError::Io`]; a frame that arrives
+/// intact but does not parse as a mux frame surfaces as
+/// [`EngineError::WireFormat`].
+pub fn read_mux_frame<R: Read>(reader: &mut R) -> Result<MuxFrame> {
+    let bytes = read_frame(reader).map_err(EngineError::from)?;
+    MuxFrame::from_bytes(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineMessage;
+    use std::io::Cursor;
+
+    #[test]
+    fn roundtrip_frames() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        write_frame(&mut buf, &vec![7u8; 10_000]).unwrap();
+        let mut cursor = Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap(), b"hello");
+        assert_eq!(read_frame(&mut cursor).unwrap(), b"");
+        assert_eq!(read_frame(&mut cursor).unwrap(), vec![7u8; 10_000]);
+    }
+
+    #[test]
+    fn truncated_frame_errors() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        buf.truncate(buf.len() - 2);
+        let mut cursor = Cursor::new(buf);
+        assert!(read_frame(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn oversized_frame_rejected_on_read() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        let mut cursor = Cursor::new(buf);
+        assert!(read_frame(&mut cursor).is_err());
+        // Just past the limit, with the exact error kind.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&((MAX_FRAME_BYTES as u32) + 1).to_le_bytes());
+        let err = read_frame(&mut Cursor::new(buf)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn oversized_frame_rejected_on_write() {
+        // The limit must hold symmetrically: what read_frame refuses,
+        // write_frame must never produce.
+        let payload = vec![0u8; MAX_FRAME_BYTES + 1];
+        let mut buf = Vec::new();
+        let err = write_frame(&mut buf, &payload).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        assert!(buf.is_empty(), "no partial frame may be emitted");
+    }
+
+    #[test]
+    fn limit_sized_frame_roundtrips_both_ways() {
+        // Exactly MAX_FRAME_BYTES is legal on both sides of the link.
+        let payload = vec![0xabu8; MAX_FRAME_BYTES];
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        let back = read_frame(&mut Cursor::new(buf)).unwrap();
+        assert_eq!(back.len(), MAX_FRAME_BYTES);
+        assert_eq!(back, payload);
+    }
+
+    #[test]
+    fn mux_frames_roundtrip_through_the_stream_codec() {
+        let frames = [
+            MuxFrame::new(1, 0, EngineMessage::Open(vec![1, 2, 3])),
+            MuxFrame::new(7, 513, EngineMessage::Payload(vec![9; 1_000])),
+            MuxFrame::new(u32::MAX, u16::MAX, EngineMessage::Done),
+        ];
+        let mut buf = Vec::new();
+        for frame in &frames {
+            write_mux_frame(&mut buf, frame).unwrap();
+        }
+        let mut cursor = Cursor::new(buf);
+        for frame in &frames {
+            assert_eq!(&read_mux_frame(&mut cursor).unwrap(), frame);
+        }
+        // Stream exhausted: the next read is an Io error, not a panic.
+        assert!(matches!(
+            read_mux_frame(&mut cursor),
+            Err(EngineError::Io(io::ErrorKind::UnexpectedEof, _))
+        ));
+    }
+
+    #[test]
+    fn intact_frame_with_garbage_payload_is_a_wire_format_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &[0xff; 3]).unwrap();
+        assert!(matches!(
+            read_mux_frame(&mut Cursor::new(buf)),
+            Err(EngineError::WireFormat(_))
+        ));
+    }
+
+    #[test]
+    fn eof_at_a_frame_boundary_is_clean_but_mid_frame_is_not() {
+        // Empty stream: a clean close.
+        assert!(read_frame_or_eof(&mut Cursor::new(Vec::new()))
+            .unwrap()
+            .is_none());
+        // A full frame then EOF: frame, then a clean close.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"last frame").unwrap();
+        let mut cursor = Cursor::new(buf.clone());
+        assert_eq!(
+            read_frame_or_eof(&mut cursor).unwrap().unwrap(),
+            b"last frame"
+        );
+        assert!(read_frame_or_eof(&mut cursor).unwrap().is_none());
+        // EOF inside the header or inside the payload: truncation errors.
+        for cut in [1, 3, 5, buf.len() - 1] {
+            let err = read_frame_or_eof(&mut Cursor::new(buf[..cut].to_vec())).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn over_real_sockets() {
+        use std::net::{TcpListener, TcpStream};
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().unwrap();
+            let msg = read_frame(&mut conn).unwrap();
+            write_frame(&mut conn, &msg).unwrap();
+        });
+        let mut client = TcpStream::connect(addr).unwrap();
+        write_frame(&mut client, b"ping over tcp").unwrap();
+        assert_eq!(read_frame(&mut client).unwrap(), b"ping over tcp");
+        handle.join().unwrap();
+    }
+}

@@ -13,6 +13,14 @@
 //! transport (sharding, multi-peer fan-out, real sockets) is written once
 //! and works for every scheme.
 //!
+//! For real connections the crate also owns the byte-level transport
+//! plumbing: [`framing`] is the length-prefixed frame codec over any
+//! [`std::io::Read`]` + `[`std::io::Write`] stream, and [`handshake`] is the
+//! versioned hello exchange (magic, protocol version, SipKey fingerprint,
+//! shard-count negotiation) the `reconciled` daemon speaks in front of the
+//! multiplexed [`MuxFrame`] protocol. See `ARCHITECTURE.md` at the
+//! repository root for the full wire-format reference.
+//!
 //! ## Quick start
 //!
 //! ```
@@ -29,12 +37,14 @@
 //! assert_eq!(report.difference.local_only.len(), 5);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod backend;
 pub mod backends;
 mod engine;
 mod error;
+pub mod framing;
+pub mod handshake;
 pub mod mux;
 pub mod shard;
 pub mod wirefmt;
@@ -42,6 +52,11 @@ pub mod wirefmt;
 pub use backend::{Progress, ReconcileBackend};
 pub use engine::{run_in_memory, ClientEngine, EngineMessage, RunReport, ServerEngine};
 pub use error::{EngineError, Result};
+pub use framing::{
+    read_frame, read_frame_or_eof, read_mux_frame, write_frame, write_mux_frame,
+    LENGTH_PREFIX_BYTES, MAX_FRAME_BYTES,
+};
+pub use handshake::{client_handshake, key_fingerprint, server_handshake, Hello, PROTOCOL_VERSION};
 pub use mux::{ClientMux, MuxFrame, ServerMux, MUX_HEADER_BYTES};
 pub use shard::{SessionId, ShardId, ShardPartitioner};
 

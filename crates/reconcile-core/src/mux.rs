@@ -235,6 +235,15 @@ impl<B: ReconcileBackend> ClientMux<B> {
             .sum()
     }
 
+    /// Scheme units consumed by each registered shard, for per-shard
+    /// budgets (one wedged shard must not spend the others' allowance).
+    pub fn units_by_shard(&self) -> impl Iterator<Item = (ShardId, usize)> + '_ {
+        self.shards.iter().enumerate().filter_map(|(shard, slot)| {
+            slot.as_ref()
+                .map(|sc| (shard as ShardId, sc.engine.units()))
+        })
+    }
+
     fn reply_frame(
         session: SessionId,
         shard: ShardId,

@@ -57,7 +57,7 @@
 //! `reconcile-core` crate, which plugs this crate in through its
 //! `ReconcileBackend` trait.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod coded;
 pub mod decoder;

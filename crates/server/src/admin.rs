@@ -1,0 +1,247 @@
+//! The line-oriented admin/metrics socket of the `reconciled` daemon.
+//!
+//! One TCP connection, one UTF-8 command per line, one reply line per
+//! command (so the protocol is usable from `nc` as well as from code):
+//!
+//! | Command | Reply | Effect |
+//! |---|---|---|
+//! | `STATS` | `OK count=… shards=… digest=… …` | metrics snapshot |
+//! | `ADD <hex>` | `OK added=0\|1` | insert an item (patches its shard cache) |
+//! | `REMOVE <hex>` | `OK removed=0\|1` | remove an item |
+//! | `QUIT` | `BYE` | close this admin connection |
+//! | `SHUTDOWN` | `BYE shutting down` | graceful daemon shutdown |
+//!
+//! Items travel as `2 × symbol_len` lowercase hex digits (see
+//! [`crate::item_to_hex`]). Malformed commands answer `ERR <reason>` and
+//! leave the connection open; the same read timeout as the data port
+//! applies, so an abandoned admin connection cannot pin a thread.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::Ordering;
+
+use riblt::Symbol;
+
+use crate::daemon::SharedState;
+use crate::{item_from_hex, item_to_hex};
+
+/// Serves one admin connection until `QUIT`, `SHUTDOWN`, EOF, or timeout.
+pub(crate) fn handle_admin_connection<S: Symbol + Ord>(
+    stream: TcpStream,
+    peer: SocketAddr,
+    shared: &SharedState<S>,
+) {
+    let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("reconciled: admin {peer}: clone failed: {e}");
+            return;
+        }
+    };
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = match line {
+            Ok(line) => line,
+            Err(_) => break, // disconnect or timeout
+        };
+        let reply = match execute(line.trim(), shared) {
+            Reply::Line(text) => text,
+            Reply::Close(text) => {
+                let _ = writeln!(writer, "{text}");
+                return;
+            }
+        };
+        if writeln!(writer, "{reply}").is_err() {
+            break;
+        }
+    }
+}
+
+enum Reply {
+    Line(String),
+    Close(String),
+}
+
+fn execute<S: Symbol + Ord>(line: &str, shared: &SharedState<S>) -> Reply {
+    let (command, argument) = match line.split_once(' ') {
+        Some((cmd, arg)) => (cmd, arg.trim()),
+        None => (line, ""),
+    };
+    match command.to_ascii_uppercase().as_str() {
+        "STATS" => Reply::Line(stats_line(shared)),
+        "ADD" => match item_from_hex::<S>(argument, shared.config.symbol_len) {
+            Some(item) => {
+                let added = shared.node.lock().expect("node lock").insert(item);
+                Reply::Line(format!("OK added={}", usize::from(added)))
+            }
+            None => Reply::Line(format!(
+                "ERR expected {} hex digits",
+                shared.config.symbol_len * 2
+            )),
+        },
+        "REMOVE" => match item_from_hex::<S>(argument, shared.config.symbol_len) {
+            Some(item) => {
+                let removed = shared.node.lock().expect("node lock").remove(&item);
+                Reply::Line(format!("OK removed={}", usize::from(removed)))
+            }
+            None => Reply::Line(format!(
+                "ERR expected {} hex digits",
+                shared.config.symbol_len * 2
+            )),
+        },
+        "QUIT" => Reply::Close("BYE".into()),
+        "SHUTDOWN" => {
+            shared.request_shutdown();
+            Reply::Close("BYE shutting down".into())
+        }
+        "" => Reply::Line("ERR empty command".into()),
+        other => Reply::Line(format!("ERR unknown command {other}")),
+    }
+}
+
+fn stats_line<S: Symbol + Ord>(shared: &SharedState<S>) -> String {
+    let (count, digest) = {
+        let node = shared.node.lock().expect("node lock");
+        (node.len(), node.digest())
+    };
+    let stats = *shared.stats.lock().expect("stats lock");
+    format!(
+        "OK count={count} shards={} digest={digest:016x} \
+         connections_active={} connections_accepted={} \
+         sessions_opened={} sessions_completed={} \
+         bytes_in={} bytes_out={} serve_cpu_ms={:.1} \
+         handshake_failures={} connection_errors={} uptime_ms={}",
+        shared.config.shards,
+        shared.active.load(Ordering::SeqCst),
+        stats.connections_accepted,
+        stats.sessions_opened,
+        stats.sessions_completed,
+        stats.bytes_in,
+        stats.bytes_out,
+        stats.serve_cpu_s * 1e3,
+        stats.handshake_failures,
+        stats.connection_errors,
+        shared.started.elapsed().as_millis(),
+    )
+}
+
+/// A client of the admin socket: one connection, sequential commands.
+#[derive(Debug)]
+pub struct AdminClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl AdminClient {
+    /// Connects to a daemon's admin listener.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<AdminClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(std::time::Duration::from_secs(10)))?;
+        let writer = stream.try_clone()?;
+        Ok(AdminClient {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one command line and returns the reply line.
+    pub fn send(&mut self, command: &str) -> std::io::Result<String> {
+        writeln!(self.writer, "{command}")?;
+        self.writer.flush()?;
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply)?;
+        if reply.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "admin connection closed",
+            ));
+        }
+        Ok(reply.trim_end().to_string())
+    }
+
+    /// Sends `ADD <hex(item)>`; true if the daemon inserted it.
+    pub fn add_item<S: Symbol>(&mut self, item: &S) -> std::io::Result<bool> {
+        let reply = self.send(&format!("ADD {}", item_to_hex(item)))?;
+        Ok(reply == "OK added=1")
+    }
+
+    /// Parses a `STATS` reply into its key/value pairs.
+    pub fn stats(&mut self) -> std::io::Result<std::collections::HashMap<String, String>> {
+        let reply = self.send("STATS")?;
+        let fields = reply
+            .strip_prefix("OK ")
+            .unwrap_or(&reply)
+            .split_whitespace()
+            .filter_map(|pair| {
+                pair.split_once('=')
+                    .map(|(k, v)| (k.to_string(), v.to_string()))
+            })
+            .collect();
+        Ok(fields)
+    }
+}
+
+/// One-shot convenience: connect, send a single command, return the reply.
+pub fn admin_request(addr: impl ToSocketAddrs, command: &str) -> std::io::Result<String> {
+    AdminClient::connect(addr)?.send(command)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::daemon::{Daemon, DaemonConfig};
+    use riblt::FixedBytes;
+
+    type Item = FixedBytes<8>;
+
+    fn daemon() -> Daemon<Item> {
+        Daemon::spawn(DaemonConfig::default(), (0..100u64).map(Item::from_u64)).unwrap()
+    }
+
+    #[test]
+    fn stats_add_remove_quit() {
+        let daemon = daemon();
+        let mut admin = AdminClient::connect(daemon.admin_addr()).unwrap();
+        let stats = admin.stats().unwrap();
+        assert_eq!(stats["count"], "100");
+        assert_eq!(stats["shards"], "8");
+        assert_eq!(stats["digest"], format!("{:016x}", daemon.digest()));
+
+        assert!(admin.add_item(&Item::from_u64(555)).unwrap());
+        assert!(!admin.add_item(&Item::from_u64(555)).unwrap(), "duplicate");
+        let reply = admin
+            .send(&format!(
+                "REMOVE {}",
+                crate::item_to_hex(&Item::from_u64(3))
+            ))
+            .unwrap();
+        assert_eq!(reply, "OK removed=1");
+        assert_eq!(daemon.len(), 100); // +555, -3
+
+        assert_eq!(admin.send("QUIT").unwrap(), "BYE");
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn malformed_commands_answer_err_and_keep_the_connection() {
+        let daemon = daemon();
+        let mut admin = AdminClient::connect(daemon.admin_addr()).unwrap();
+        assert!(admin.send("ADD xyz").unwrap().starts_with("ERR"));
+        assert!(admin.send("FROB").unwrap().starts_with("ERR"));
+        assert!(admin.send("").unwrap().starts_with("ERR"));
+        // Still alive afterwards.
+        assert_eq!(admin.stats().unwrap()["count"], "100");
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn shutdown_command_stops_the_daemon() {
+        let daemon = daemon();
+        let reply = admin_request(daemon.admin_addr(), "SHUTDOWN").unwrap();
+        assert_eq!(reply, "BYE shutting down");
+        assert!(daemon.shutdown_requested());
+        daemon.wait();
+    }
+}

@@ -1,0 +1,640 @@
+//! The `reconciled` daemon: a thread-per-connection TCP server that streams
+//! coded symbols from shared per-shard sketch caches to any number of peers.
+//!
+//! ## Serving model
+//!
+//! The daemon owns one [`cluster::Node`]: an item set hash-partitioned into
+//! S shards, each backed by an incrementally-maintained
+//! [`riblt::SketchCache`]. Serving a session is a pure cache-range read —
+//! cells `[offset, offset + batch)` of the shard's universal coded-symbol
+//! sequence, wire-encoded with the §6 compressed codec — so the encoding
+//! work for a set change is paid **once** and every concurrent peer at any
+//! staleness reads the same cells. Per-connection state is nothing but a
+//! `(session, shard) → offset` map.
+//!
+//! ## Connection lifecycle
+//!
+//! 1. [`server_handshake`]: magic, protocol version, SipKey fingerprint,
+//!    shard-count announcement. Mismatched peers are rejected with a reason
+//!    frame before the connection closes.
+//! 2. Mux frames, request-driven: `Open` (validated against the rateless
+//!    stream magic) and `Continue` each produce one `Payload`; `Done`
+//!    retires the `(session, shard)`. The daemon never pushes unprompted —
+//!    on a shared connection only the client knows which shards still need
+//!    symbols.
+//! 3. The peer closes the connection (or times out, or errors); the
+//!    connection's byte/CPU accounting folds into the daemon-wide stats.
+//!
+//! Every connection carries read *and* write timeouts: a peer that connects
+//! and goes silent, or stops draining its receive window, costs one blocked
+//! thread for at most the timeout before the connection is dropped.
+//!
+//! ## Consistency under mutation
+//!
+//! Admin `ADD`/`REMOVE` take the node lock, so each served batch is a
+//! consistent snapshot. A mutation *between* batches of a long-running
+//! session changes later cells out from under the stream (already-served
+//! ranges described the old set); the decoder then simply fails to settle
+//! and the client retries against the new state — rateless streams make
+//! the retry cheap, and the unit budget bounds the damage. Sessions are
+//! short (seconds) relative to typical churn, exactly the deployment the
+//! paper's incremental-cache story targets.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use cluster::{Node, NodeConfig};
+use reconcile_core::backends::RIBLT_STREAM_MAGIC;
+use reconcile_core::framing::{read_frame_or_eof, LENGTH_PREFIX_BYTES};
+use reconcile_core::handshake::{server_handshake, Hello, HELLO_BYTES};
+use reconcile_core::wirefmt::validate_stream_open;
+use reconcile_core::{write_mux_frame, EngineError, EngineMessage, MuxFrame, SessionId, ShardId};
+use riblt::wire::SymbolCodec;
+use riblt::Symbol;
+use riblt_hash::SipKey;
+
+use crate::admin;
+
+/// Static configuration of a [`Daemon`].
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Data listener address (`host:port`; port 0 picks a free port).
+    pub listen: String,
+    /// Admin/metrics listener address.
+    pub admin: String,
+    /// Number of keyspace shards the set is partitioned into.
+    pub shards: u16,
+    /// Item length in bytes.
+    pub symbol_len: usize,
+    /// Shared keyed-hash key (drives partitioning, checksums, mappings —
+    /// peers must hold the same key, enforced by the handshake fingerprint).
+    pub key: SipKey,
+    /// Coded symbols served per shard per `Open`/`Continue`.
+    pub batch_symbols: usize,
+    /// Read timeout on every connection: a silent peer is dropped after
+    /// this long.
+    pub read_timeout: Duration,
+    /// Write timeout on every connection: a peer that stops draining is
+    /// dropped after this long.
+    pub write_timeout: Duration,
+    /// Per-`(session, shard)` budget: sessions that consume more coded
+    /// symbols than this are dropped (bounds cache growth against wedged or
+    /// mis-keyed peers that can never finish decoding).
+    pub max_units_per_session: usize,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            listen: "127.0.0.1:0".into(),
+            admin: "127.0.0.1:0".into(),
+            shards: 8,
+            symbol_len: 8,
+            key: SipKey::default(),
+            batch_symbols: 32,
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            max_units_per_session: 1 << 20,
+        }
+    }
+}
+
+/// Aggregate daemon counters, as reported by [`Daemon::stats`] and the
+/// admin `STATS` command.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DaemonStats {
+    /// Data connections accepted since start.
+    pub connections_accepted: usize,
+    /// Data + admin connections currently open.
+    pub connections_active: usize,
+    /// `(session, shard)` streams opened.
+    pub sessions_opened: usize,
+    /// `(session, shard)` streams the peers completed with `Done`.
+    pub sessions_completed: usize,
+    /// Bytes read off data connections (length prefixes included).
+    pub bytes_in: u64,
+    /// Bytes written to data connections (length prefixes included).
+    pub bytes_out: u64,
+    /// CPU seconds spent producing payloads (cache reads + wire encoding).
+    pub serve_cpu_s: f64,
+    /// Connections dropped during the handshake (mismatch or malformed).
+    pub handshake_failures: usize,
+    /// Connections dropped for protocol violations, timeouts or I/O errors
+    /// after a completed handshake.
+    pub connection_errors: usize,
+}
+
+/// Per-connection accounting, folded into [`DaemonStats`] on disconnect.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct ConnAccounting {
+    bytes_in: u64,
+    bytes_out: u64,
+    serve_cpu_s: f64,
+    sessions_opened: usize,
+    sessions_completed: usize,
+}
+
+pub(crate) struct SharedState<S: Symbol + Ord> {
+    pub(crate) config: DaemonConfig,
+    pub(crate) node: Mutex<Node<S>>,
+    pub(crate) stats: Mutex<DaemonStats>,
+    pub(crate) stop: AtomicBool,
+    pub(crate) active: AtomicUsize,
+    pub(crate) started: Instant,
+}
+
+impl<S: Symbol + Ord> SharedState<S> {
+    pub(crate) fn request_shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+    }
+}
+
+/// A running `reconciled` daemon (listeners + accept thread), usable
+/// in-process from tests or wrapped by the `reconciled` binary.
+pub struct Daemon<S: Symbol + Ord + Send + 'static> {
+    data_addr: SocketAddr,
+    admin_addr: SocketAddr,
+    shared: Arc<SharedState<S>>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl<S: Symbol + Ord + Send + 'static> Daemon<S> {
+    /// Binds both listeners, seeds the node with `initial` items, and
+    /// starts the accept thread.
+    pub fn spawn(config: DaemonConfig, initial: impl IntoIterator<Item = S>) -> io::Result<Self> {
+        // The handshake carries the item length as a u16; reject a config
+        // the wire format cannot express before binding anything.
+        if config.symbol_len == 0 || config.symbol_len > usize::from(u16::MAX) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "symbol_len {} is outside the wire format's u16 range",
+                    config.symbol_len
+                ),
+            ));
+        }
+        if config.shards == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "at least one shard is required",
+            ));
+        }
+        let data_listener = TcpListener::bind(&config.listen)?;
+        let admin_listener = TcpListener::bind(&config.admin)?;
+        data_listener.set_nonblocking(true)?;
+        admin_listener.set_nonblocking(true)?;
+        let data_addr = data_listener.local_addr()?;
+        let admin_addr = admin_listener.local_addr()?;
+
+        let mut node = Node::new(
+            0,
+            NodeConfig {
+                shards: config.shards,
+                key: config.key,
+                symbol_len: config.symbol_len,
+            },
+        );
+        for item in initial {
+            node.insert(item);
+        }
+
+        let shared = Arc::new(SharedState {
+            config,
+            node: Mutex::new(node),
+            stats: Mutex::new(DaemonStats::default()),
+            stop: AtomicBool::new(false),
+            active: AtomicUsize::new(0),
+            started: Instant::now(),
+        });
+
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = thread::Builder::new()
+            .name("reconciled-accept".into())
+            .spawn(move || accept_loop(data_listener, admin_listener, accept_shared))?;
+
+        Ok(Daemon {
+            data_addr,
+            admin_addr,
+            shared,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// Address of the data (reconciliation) listener.
+    pub fn data_addr(&self) -> SocketAddr {
+        self.data_addr
+    }
+
+    /// Address of the admin/metrics listener.
+    pub fn admin_addr(&self) -> SocketAddr {
+        self.admin_addr
+    }
+
+    /// Snapshot of the aggregate counters.
+    pub fn stats(&self) -> DaemonStats {
+        let mut stats = *self.shared.stats.lock().expect("stats lock");
+        stats.connections_active = self.shared.active.load(Ordering::SeqCst);
+        stats
+    }
+
+    /// Number of items currently in the set.
+    pub fn len(&self) -> usize {
+        self.shared.node.lock().expect("node lock").len()
+    }
+
+    /// True if the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Order-independent digest of the set (see [`cluster::set_digest`]).
+    pub fn digest(&self) -> u64 {
+        self.shared.node.lock().expect("node lock").digest()
+    }
+
+    /// Adds an item (patching O(log m) cells of its shard's cache).
+    /// Returns false if it was already present.
+    pub fn insert(&self, item: S) -> bool {
+        self.shared.node.lock().expect("node lock").insert(item)
+    }
+
+    /// Removes an item. Returns false if it was absent.
+    pub fn remove(&self, item: &S) -> bool {
+        self.shared.node.lock().expect("node lock").remove(item)
+    }
+
+    /// True once a shutdown has been requested (via [`Self::shutdown`] or
+    /// the admin `SHUTDOWN` command).
+    pub fn shutdown_requested(&self) -> bool {
+        self.shared.stop.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until a shutdown is requested, then drains: stops accepting,
+    /// waits (bounded by the read timeout plus slack) for live connections
+    /// to finish, and joins the accept thread.
+    pub fn wait(mut self) {
+        while !self.shared.stop.load(Ordering::SeqCst) {
+            thread::sleep(Duration::from_millis(20));
+        }
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        let deadline = Instant::now() + self.shared.config.read_timeout + Duration::from_secs(2);
+        while self.shared.active.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+            thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    /// Requests a graceful shutdown and drains (see [`Self::wait`]).
+    pub fn shutdown(self) {
+        self.shared.request_shutdown();
+        self.wait();
+    }
+}
+
+impl<S: Symbol + Ord + Send + 'static> Drop for Daemon<S> {
+    fn drop(&mut self) {
+        self.shared.request_shutdown();
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn accept_loop<S: Symbol + Ord + Send + 'static>(
+    data_listener: TcpListener,
+    admin_listener: TcpListener,
+    shared: Arc<SharedState<S>>,
+) {
+    while !shared.stop.load(Ordering::SeqCst) {
+        let mut progress = false;
+        match data_listener.accept() {
+            Ok((stream, peer)) => {
+                progress = true;
+                shared
+                    .stats
+                    .lock()
+                    .expect("stats lock")
+                    .connections_accepted += 1;
+                shared.active.fetch_add(1, Ordering::SeqCst);
+                let conn_shared = Arc::clone(&shared);
+                let spawned = thread::Builder::new()
+                    .name(format!("reconciled-peer-{peer}"))
+                    .spawn(move || {
+                        handle_data_connection(stream, peer, &conn_shared);
+                        conn_shared.active.fetch_sub(1, Ordering::SeqCst);
+                    });
+                if let Err(e) = spawned {
+                    // Thread exhaustion: drop the connection, undo the
+                    // live-connection count the closure never got to own.
+                    shared.active.fetch_sub(1, Ordering::SeqCst);
+                    eprintln!("reconciled: cannot spawn peer thread: {e}");
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+            Err(e) => eprintln!("reconciled: accept error: {e}"),
+        }
+        match admin_listener.accept() {
+            Ok((stream, peer)) => {
+                progress = true;
+                shared.active.fetch_add(1, Ordering::SeqCst);
+                let conn_shared = Arc::clone(&shared);
+                let spawned = thread::Builder::new()
+                    .name(format!("reconciled-admin-{peer}"))
+                    .spawn(move || {
+                        admin::handle_admin_connection(stream, peer, &conn_shared);
+                        conn_shared.active.fetch_sub(1, Ordering::SeqCst);
+                    });
+                if let Err(e) = spawned {
+                    shared.active.fetch_sub(1, Ordering::SeqCst);
+                    eprintln!("reconciled: cannot spawn admin thread: {e}");
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+            Err(e) => eprintln!("reconciled: admin accept error: {e}"),
+        }
+        if !progress {
+            thread::sleep(Duration::from_millis(5));
+        }
+    }
+}
+
+fn handle_data_connection<S: Symbol + Ord>(
+    mut stream: TcpStream,
+    peer: SocketAddr,
+    shared: &SharedState<S>,
+) {
+    let config = &shared.config;
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(config.read_timeout));
+    let _ = stream.set_write_timeout(Some(config.write_timeout));
+
+    let mut acct = ConnAccounting::default();
+    let started = Instant::now();
+    let result = serve_peer(&mut stream, shared, &mut acct);
+
+    let mut stats = shared.stats.lock().expect("stats lock");
+    stats.bytes_in += acct.bytes_in;
+    stats.bytes_out += acct.bytes_out;
+    stats.serve_cpu_s += acct.serve_cpu_s;
+    stats.sessions_opened += acct.sessions_opened;
+    stats.sessions_completed += acct.sessions_completed;
+    match &result {
+        Ok(()) => {}
+        Err(EngineError::Handshake(_)) => stats.handshake_failures += 1,
+        Err(_) => stats.connection_errors += 1,
+    }
+    drop(stats);
+
+    let elapsed_ms = started.elapsed().as_millis();
+    let outcome = match result {
+        Ok(()) => "closed".to_string(),
+        Err(e) => format!("dropped: {e}"),
+    };
+    eprintln!(
+        "reconciled: peer {peer} {outcome} \
+         (in={}B out={}B serve_cpu={:.1}ms sessions={}/{} lifetime={elapsed_ms}ms)",
+        acct.bytes_in,
+        acct.bytes_out,
+        acct.serve_cpu_s * 1e3,
+        acct.sessions_completed,
+        acct.sessions_opened,
+    );
+}
+
+/// Drives one data connection from handshake to close. Any error drops the
+/// connection (the transport is the error channel mid-protocol; only the
+/// handshake has reject frames).
+fn serve_peer<S: Symbol + Ord>(
+    stream: &mut TcpStream,
+    shared: &SharedState<S>,
+    acct: &mut ConnAccounting,
+) -> reconcile_core::Result<()> {
+    let config = &shared.config;
+    let local_hello = Hello::new(config.key, config.shards, config.symbol_len);
+    server_handshake(stream, &local_hello)?;
+    acct.bytes_in += (LENGTH_PREFIX_BYTES + HELLO_BYTES) as u64;
+    acct.bytes_out += (LENGTH_PREFIX_BYTES + HELLO_BYTES) as u64;
+
+    // All per-connection protocol state: the next cache offset per stream.
+    let mut offsets: HashMap<(SessionId, ShardId), usize> = HashMap::new();
+
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        let bytes = match read_frame_or_eof(stream) {
+            // EOF at a frame boundary: the normal end of a conversation
+            // (clients close after their last Done). EOF *mid-frame* stays
+            // an error so truncating peers show up in connection_errors.
+            Ok(None) => return Ok(()),
+            Ok(Some(bytes)) => bytes,
+            Err(e) => return Err(e.into()),
+        };
+        let frame = MuxFrame::from_bytes(&bytes)?;
+        acct.bytes_in += (LENGTH_PREFIX_BYTES + frame.wire_size()) as u64;
+        let key = (frame.session, frame.shard);
+        match frame.message {
+            EngineMessage::Open(ref request) => {
+                validate_stream_open(request, RIBLT_STREAM_MAGIC, config.symbol_len)?;
+                if frame.shard >= config.shards {
+                    return Err(EngineError::Protocol("shard out of range"));
+                }
+                if offsets.insert(key, 0).is_some() {
+                    return Err(EngineError::Protocol("duplicate open for session/shard"));
+                }
+                acct.sessions_opened += 1;
+                serve_batch(stream, shared, &mut offsets, key, acct)?;
+            }
+            EngineMessage::Continue => {
+                if !offsets.contains_key(&key) {
+                    return Err(EngineError::Protocol("continue for unknown session/shard"));
+                }
+                serve_batch(stream, shared, &mut offsets, key, acct)?;
+            }
+            EngineMessage::Done => {
+                // Duplicate Dones are harmless (mirrors ServerMux).
+                if offsets.remove(&key).is_some() {
+                    acct.sessions_completed += 1;
+                }
+            }
+            EngineMessage::Payload(_) | EngineMessage::Request(_) => {
+                return Err(EngineError::Protocol(
+                    "client sent a server-side or interactive frame",
+                ));
+            }
+        }
+    }
+}
+
+/// Serves the next batch of a stream: a cache-range read under the node
+/// lock, wire-encoded, written as one payload frame.
+fn serve_batch<S: Symbol + Ord>(
+    stream: &mut TcpStream,
+    shared: &SharedState<S>,
+    offsets: &mut HashMap<(SessionId, ShardId), usize>,
+    key: (SessionId, ShardId),
+    acct: &mut ConnAccounting,
+) -> reconcile_core::Result<()> {
+    let config = &shared.config;
+    let next = offsets[&key];
+    if next >= config.max_units_per_session {
+        return Err(EngineError::Protocol("session exceeded its unit budget"));
+    }
+    let (_session, shard) = key;
+
+    let t0 = Instant::now();
+    let payload = {
+        let mut node = shared.node.lock().expect("node lock");
+        let set_size = node.shard_len(shard) as u64;
+        let codec = SymbolCodec::with_alpha(config.symbol_len, set_size, riblt::DEFAULT_ALPHA);
+        let cells = node.shard_cells(shard, next, config.batch_symbols);
+        codec.encode_batch(cells, next as u64)
+    };
+    acct.serve_cpu_s += t0.elapsed().as_secs_f64();
+    offsets.insert(key, next + config.batch_symbols);
+
+    let reply = MuxFrame::new(key.0, key.1, EngineMessage::Payload(payload));
+    acct.bytes_out += (LENGTH_PREFIX_BYTES + reply.wire_size()) as u64;
+    write_mux_frame(stream, &reply)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reconcile_core::backends::RibltBackend;
+    use riblt::FixedBytes;
+    use statesync::{sync_sharded_tcp, TcpSyncConfig};
+
+    type Item = FixedBytes<8>;
+
+    fn items(range: std::ops::Range<u64>) -> Vec<Item> {
+        range.map(Item::from_u64).collect()
+    }
+
+    fn test_config() -> DaemonConfig {
+        DaemonConfig {
+            shards: 4,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            ..Default::default()
+        }
+    }
+
+    fn sync_against(
+        daemon: &Daemon<Item>,
+        local: &[Item],
+    ) -> (Vec<riblt::SetDifference<Item>>, statesync::TcpSyncOutcome) {
+        let mut conn = TcpStream::connect(daemon.data_addr()).unwrap();
+        conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let key = daemon.shared.config.key;
+        sync_sharded_tcp(
+            &mut conn,
+            local,
+            |_| RibltBackend::<Item>::with_key_and_alpha(8, 32, key, riblt::DEFAULT_ALPHA),
+            &TcpSyncConfig {
+                key,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn serves_one_client_in_process() {
+        let daemon = Daemon::spawn(test_config(), items(0..2_000)).unwrap();
+        let local = items(100..2_050);
+        let (diffs, outcome) = sync_against(&daemon, &local);
+        assert_eq!(outcome.shards, 4);
+        let remote: usize = diffs.iter().map(|d| d.remote_only.len()).sum();
+        let local_only: usize = diffs.iter().map(|d| d.local_only.len()).sum();
+        assert_eq!(remote, 100);
+        assert_eq!(local_only, 50);
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn serves_concurrent_peers_from_the_same_caches() {
+        let daemon = Arc::new(Daemon::spawn(test_config(), items(0..3_000)).unwrap());
+        let mut handles = Vec::new();
+        for staleness in [5u64, 50, 200] {
+            let daemon = Arc::clone(&daemon);
+            handles.push(thread::spawn(move || {
+                let local = items(staleness..3_000);
+                let (diffs, _) = sync_against(&daemon, &local);
+                let remote: usize = diffs.iter().map(|d| d.remote_only.len()).sum();
+                assert_eq!(remote as u64, staleness);
+            }));
+        }
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        // Connection accounting folds in when each serving thread tears
+        // down, which can trail the clients' last bytes — poll, don't race.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while daemon.stats().sessions_completed < 12 {
+            assert!(Instant::now() < deadline, "accounting never settled");
+            thread::sleep(Duration::from_millis(10));
+        }
+        let stats = daemon.stats();
+        assert_eq!(stats.connections_accepted, 3);
+        assert_eq!(stats.sessions_opened, 12, "3 peers x 4 shards");
+        assert_eq!(stats.sessions_completed, 12);
+        assert!(stats.bytes_out > stats.bytes_in);
+        Arc::try_unwrap(daemon).ok().unwrap().shutdown();
+    }
+
+    #[test]
+    fn mutations_between_sessions_are_served_incrementally() {
+        let daemon = Daemon::spawn(test_config(), items(0..500)).unwrap();
+        let local = items(0..500);
+        let (diffs, _) = sync_against(&daemon, &local);
+        assert!(diffs.iter().all(|d| d.is_empty()));
+        // Mutate through the in-process API (the admin socket path is
+        // exercised by the admin tests and the two-process test).
+        assert!(daemon.insert(Item::from_u64(9_999)));
+        assert!(daemon.remove(&Item::from_u64(3)));
+        let (diffs, _) = sync_against(&daemon, &local);
+        let remote: Vec<u64> = diffs
+            .iter()
+            .flat_map(|d| d.remote_only.iter().map(|i| i.to_u64()))
+            .collect();
+        let local_only: Vec<u64> = diffs
+            .iter()
+            .flat_map(|d| d.local_only.iter().map(|i| i.to_u64()))
+            .collect();
+        assert_eq!(remote, vec![9_999]);
+        assert_eq!(local_only, vec![3]);
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn oversized_session_budget_drops_the_connection() {
+        let config = DaemonConfig {
+            max_units_per_session: 16,
+            batch_symbols: 16,
+            shards: 1,
+            read_timeout: Duration::from_secs(2),
+            ..Default::default()
+        };
+        // Large difference + tiny budget: the daemon cuts the stream off.
+        let daemon = Daemon::spawn(config, items(0..5_000)).unwrap();
+        let mut conn = TcpStream::connect(daemon.data_addr()).unwrap();
+        conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let err = sync_sharded_tcp(
+            &mut conn,
+            &[] as &[Item],
+            |_| RibltBackend::<Item>::new(8, 32),
+            &TcpSyncConfig::default(),
+        )
+        .unwrap_err();
+        // The client observes the drop as a transport error mid-stream.
+        assert!(matches!(err, EngineError::Io(_, _)), "{err}");
+        daemon.shutdown();
+    }
+}

@@ -1,0 +1,167 @@
+//! Handshake failure modes against a live in-process daemon: every
+//! mismatched, malformed, truncated, or silent peer must produce a clean
+//! error on both ends — never a hang, never a panic, and never a byte of
+//! coded symbols.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use reconcile_core::handshake::{client_handshake, Hello, HELLO_BYTES, PROTOCOL_VERSION};
+use reconcile_core::{read_frame, write_frame, EngineError};
+use riblt::FixedBytes;
+use riblt_hash::SipKey;
+use server::{Daemon, DaemonConfig};
+
+type Item = FixedBytes<8>;
+
+fn daemon_with_timeout(read_timeout: Duration) -> Daemon<Item> {
+    Daemon::spawn(
+        DaemonConfig {
+            shards: 4,
+            read_timeout,
+            write_timeout: Duration::from_secs(2),
+            ..Default::default()
+        },
+        (0..100u64).map(Item::from_u64),
+    )
+    .unwrap()
+}
+
+fn connect(daemon: &Daemon<Item>) -> TcpStream {
+    let stream = TcpStream::connect(daemon.data_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    stream
+}
+
+/// Daemon-side counters are folded in when the serving thread tears down,
+/// which can trail the client's last protocol byte — poll, don't race.
+fn wait_for(what: &str, mut condition: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while !condition() {
+        assert!(Instant::now() < deadline, "not reached within 5s: {what}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn version_mismatch_errors_cleanly() {
+    let daemon = daemon_with_timeout(Duration::from_secs(2));
+    let mut conn = connect(&daemon);
+    let mut hello = Hello::new(SipKey::default(), 0, 8);
+    hello.version = PROTOCOL_VERSION + 1;
+    let err = client_handshake(&mut conn, &hello).unwrap_err();
+    assert!(matches!(err, EngineError::Handshake(_)), "{err}");
+    assert!(err.to_string().contains("version"), "{err}");
+    wait_for("handshake failure counted", || {
+        daemon.stats().handshake_failures == 1
+    });
+    daemon.shutdown();
+}
+
+#[test]
+fn fingerprint_mismatch_errors_cleanly() {
+    let daemon = daemon_with_timeout(Duration::from_secs(2));
+    let mut conn = connect(&daemon);
+    let hello = Hello::new(SipKey::new(0xbad, 0xbad), 0, 8);
+    let err = client_handshake(&mut conn, &hello).unwrap_err();
+    assert!(matches!(err, EngineError::Handshake(_)), "{err}");
+    assert!(err.to_string().contains("fingerprint"), "{err}");
+    daemon.shutdown();
+}
+
+#[test]
+fn symbol_len_mismatch_errors_cleanly() {
+    let daemon = daemon_with_timeout(Duration::from_secs(2));
+    let mut conn = connect(&daemon);
+    let hello = Hello::new(SipKey::default(), 0, 32);
+    let err = client_handshake(&mut conn, &hello).unwrap_err();
+    assert!(err.to_string().contains("symbol length"), "{err}");
+    daemon.shutdown();
+}
+
+#[test]
+fn truncated_hello_is_rejected_not_hung() {
+    let daemon = daemon_with_timeout(Duration::from_millis(500));
+    let mut conn = connect(&daemon);
+    // A frame header promising a full hello, but only half the bytes —
+    // then the stream stays open. The daemon's read timeout must cut it.
+    conn.write_all(&(HELLO_BYTES as u32).to_le_bytes()).unwrap();
+    conn.write_all(&[0u8; HELLO_BYTES / 2]).unwrap();
+    conn.flush().unwrap();
+    let start = Instant::now();
+    let mut buf = Vec::new();
+    // The daemon drops the connection (EOF here); it must not stall.
+    let read = conn.read_to_end(&mut buf);
+    assert!(read.is_ok() || read.is_err()); // either EOF or reset, both fine
+    assert!(
+        start.elapsed() < Duration::from_secs(4),
+        "daemon held a truncated hello open for {:?}",
+        start.elapsed()
+    );
+    daemon.shutdown();
+}
+
+#[test]
+fn garbage_hello_gets_a_reject_frame() {
+    let daemon = daemon_with_timeout(Duration::from_secs(2));
+    let mut conn = connect(&daemon);
+    write_frame(&mut conn, b"GET / HTTP/1.1").unwrap();
+    // The daemon answers with a malformed-hello reject, then closes.
+    let reply = read_frame(&mut conn).unwrap();
+    assert_eq!(&reply[..4], b"RNCK");
+    let mut rest = Vec::new();
+    conn.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty(), "nothing after the reject");
+    wait_for("handshake failure counted", || {
+        daemon.stats().handshake_failures == 1
+    });
+    daemon.shutdown();
+}
+
+#[test]
+fn silent_peer_is_dropped_after_the_read_timeout() {
+    let daemon = daemon_with_timeout(Duration::from_millis(300));
+    let mut conn = connect(&daemon);
+    // Connect and say nothing. The daemon must drop us, freeing its
+    // thread, in roughly the configured timeout.
+    let start = Instant::now();
+    let mut buf = [0u8; 16];
+    let outcome = conn.read(&mut buf);
+    let elapsed = start.elapsed();
+    match outcome {
+        Ok(0) => {} // clean close
+        Ok(n) => panic!("daemon sent {n} unsolicited bytes"),
+        Err(_) => {} // reset — also a drop
+    }
+    assert!(
+        elapsed < Duration::from_secs(4),
+        "silent peer held for {elapsed:?}"
+    );
+    // The daemon is still healthy and serves a well-behaved peer.
+    let mut good = connect(&daemon);
+    let hello = Hello::new(SipKey::default(), 0, 8);
+    let server_hello = client_handshake(&mut good, &hello).unwrap();
+    assert_eq!(server_hello.shards, 4);
+    daemon.shutdown();
+}
+
+#[test]
+fn silent_peer_after_handshake_is_also_dropped() {
+    let daemon = daemon_with_timeout(Duration::from_millis(300));
+    let mut conn = connect(&daemon);
+    let hello = Hello::new(SipKey::default(), 0, 8);
+    client_handshake(&mut conn, &hello).unwrap();
+    // Handshake done, then silence: the mux read loop must time out too.
+    let start = Instant::now();
+    let mut buf = [0u8; 16];
+    let _ = conn.read(&mut buf);
+    assert!(
+        start.elapsed() < Duration::from_secs(4),
+        "post-handshake silence held for {:?}",
+        start.elapsed()
+    );
+    daemon.shutdown();
+}

@@ -10,6 +10,11 @@
 //! [`sync_with_backend`] driver. The driver folds real measured CPU time
 //! into the virtual clock and reports a [`SyncOutcome`] with completion
 //! time, byte counts, round counts and a bandwidth trace.
+//!
+//! Beyond the simulator, [`sync_sharded_tcp`] drives the same sharded
+//! multiplexed protocol over any real byte stream (`Read + Write`) — it is
+//! the client half of the `reconciled` daemon's wire protocol, complete
+//! with the versioned handshake and shard-count negotiation.
 
 #![warn(missing_docs)]
 
@@ -19,6 +24,7 @@ pub mod ledger;
 pub mod metrics;
 pub mod shard_sync;
 pub mod sync;
+pub mod tcp_sync;
 
 pub use chain::{BlockUpdate, Chain, ChainConfig};
 pub use heal_backend::HealBackend;
@@ -33,3 +39,4 @@ pub use shard_sync::{
 pub use sync::{
     sync_with_backend, sync_with_heal, sync_with_riblt, HealSyncConfig, RibltSyncConfig, SyncConfig,
 };
+pub use tcp_sync::{sync_sharded_tcp, TcpSyncConfig, TcpSyncOutcome};

@@ -1,0 +1,309 @@
+//! Sharded synchronization over a *real* byte stream: the client half of
+//! the `reconciled` wire protocol.
+//!
+//! Where [`crate::shard_sync`] drives S multiplexed sessions over the
+//! deterministic simulator, this module drives the identical protocol over
+//! anything that implements `Read + Write` — a localhost `TcpStream`
+//! against the `reconciled` daemon, a pipe in a test, a tunnel. The flow:
+//!
+//! 1. [`reconcile_core::handshake::client_handshake`] — magic, protocol
+//!    version, SipKey fingerprint, shard-count negotiation. The server's
+//!    shard count is authoritative; this driver partitions the local set
+//!    with whatever the server announces.
+//! 2. One `Open` [`MuxFrame`] per shard, then request-driven streaming:
+//!    every `Payload` is answered with `Continue` (more symbols for that
+//!    shard) or `Done` (shard decoded). Payloads of independent shards are
+//!    absorbed in parallel on a `std::thread` worker pool.
+//! 3. When every shard is done the recovered per-shard
+//!    [`SetDifference`]s are returned together with a byte/round/unit
+//!    accounting of the conversation.
+//!
+//! Rateless streaming is what makes this practical over real, slow or lossy
+//! links: the server never commits to a code rate, it just keeps serving
+//! coded symbols from its shared caches until each shard's client says stop.
+
+use std::io::{Read, Write};
+use std::time::Instant;
+
+use reconcile_core::framing::LENGTH_PREFIX_BYTES;
+use reconcile_core::handshake::{client_handshake, Hello};
+use reconcile_core::{
+    read_mux_frame, write_mux_frame, ClientEngine, ClientMux, EngineError, EngineMessage, MuxFrame,
+    ReconcileBackend, SessionId, SetDifference, ShardId, ShardPartitioner,
+};
+use riblt::Symbol;
+use riblt_hash::SipKey;
+
+/// Configuration of a TCP (or any real-stream) sharded synchronization.
+#[derive(Debug, Clone, Copy)]
+pub struct TcpSyncConfig {
+    /// Shard count to propose in the handshake
+    /// ([`reconcile_core::handshake::SHARDS_ANY`] = let the server decide).
+    /// The server's count always wins; this is advisory.
+    pub shards_hint: u16,
+    /// Shared keyed-hash key — must fingerprint-match the server's.
+    pub key: SipKey,
+    /// Item length in bytes — must match the server's.
+    pub symbol_len: usize,
+    /// Decode worker threads (0 = one per available core).
+    pub threads: usize,
+    /// Safety budget: abort after this many scheme units per shard.
+    pub max_units_per_shard: usize,
+    /// Session id tagged onto every frame of this conversation.
+    pub session: SessionId,
+}
+
+impl Default for TcpSyncConfig {
+    fn default() -> Self {
+        TcpSyncConfig {
+            shards_hint: reconcile_core::handshake::SHARDS_ANY,
+            key: SipKey::default(),
+            symbol_len: 8,
+            threads: 0,
+            max_units_per_shard: 1 << 20,
+            session: 1,
+        }
+    }
+}
+
+/// Measured outcome of one real-stream synchronization.
+#[derive(Debug, Clone, Copy)]
+pub struct TcpSyncOutcome {
+    /// Shard count negotiated with the server.
+    pub shards: u16,
+    /// Request/response rounds until every shard completed.
+    pub rounds: usize,
+    /// Scheme units (coded symbols) consumed across all shards.
+    pub units: usize,
+    /// Bytes written to the stream (frames + length prefixes).
+    pub bytes_sent: usize,
+    /// Bytes read from the stream (frames + length prefixes).
+    pub bytes_received: usize,
+    /// Wall seconds spent absorbing payloads (the parallel decode phases).
+    pub decode_wall_s: f64,
+}
+
+/// Synchronizes the local set against a remote server over `io`, one engine
+/// session per negotiated shard, and returns the recovered per-shard
+/// differences (index = shard id).
+///
+/// `factory` builds the backend for each shard *after* the handshake, so it
+/// sees the negotiated shard count implicitly through the ids it is called
+/// with; it must configure every backend with `config.key`,
+/// `config.symbol_len`, **and α = [`riblt::DEFAULT_ALPHA`]** — protocol
+/// version 1 pins the mapping parameter, and the handshake checks the first
+/// two but cannot see the backend's α (a non-default α decodes nothing and
+/// burns the unit budget before erroring `DecodeIncomplete`).
+///
+/// The caller owns the stream: timeouts (`TcpStream::set_read_timeout`) and
+/// connection teardown stay in its hands. A server that stops answering
+/// surfaces as [`EngineError::Io`] once the stream's timeout fires — this
+/// driver never blocks without the transport's own bounds.
+pub fn sync_sharded_tcp<B, F, T>(
+    io: &mut T,
+    local_items: &[B::Item],
+    factory: F,
+    config: &TcpSyncConfig,
+) -> reconcile_core::Result<(Vec<SetDifference<B::Item>>, TcpSyncOutcome)>
+where
+    B: ReconcileBackend + Send,
+    B::Client: Send,
+    B::Item: Symbol,
+    F: Fn(ShardId) -> B,
+    T: Read + Write,
+{
+    // --- 1. Handshake: the server's shard count is authoritative. ---
+    if config.symbol_len == 0 || config.symbol_len > usize::from(u16::MAX) {
+        return Err(EngineError::Handshake(format!(
+            "symbol_len {} is outside the wire format's u16 range",
+            config.symbol_len
+        )));
+    }
+    let local_hello = Hello::new(config.key, config.shards_hint, config.symbol_len);
+    let server_hello = client_handshake(io, &local_hello)?;
+    let shards = server_hello.shards;
+    let mut bytes_sent = LENGTH_PREFIX_BYTES + reconcile_core::handshake::HELLO_BYTES;
+    let mut bytes_received = LENGTH_PREFIX_BYTES + reconcile_core::handshake::HELLO_BYTES;
+
+    // --- 2. Partition with the negotiated count and open every shard. ---
+    let partitioner = ShardPartitioner::new(config.key, shards);
+    let parts = partitioner.partition(local_items);
+    let mut client = ClientMux::new(config.session);
+    for (shard, part) in parts.iter().enumerate() {
+        client.insert_shard(
+            shard as ShardId,
+            ClientEngine::new(factory(shard as ShardId), part),
+        );
+    }
+
+    let mut awaiting = 0usize; // payloads the server still owes us
+    for frame in client.opens() {
+        bytes_sent += LENGTH_PREFIX_BYTES + frame.wire_size();
+        write_mux_frame(io, &frame)?;
+        awaiting += 1;
+    }
+
+    let threads = if config.threads == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        config.threads
+    };
+    let mut rounds = 0usize;
+    let mut decode_wall_s = 0.0f64;
+
+    // --- 3. Request-driven streaming until every shard is done. ---
+    while awaiting > 0 {
+        rounds += 1;
+        // The server answers every Open/Continue with exactly one Payload,
+        // each for a distinct shard, so one read per outstanding request
+        // yields a batch handle_parallel can absorb.
+        let mut payloads: Vec<MuxFrame> = Vec::with_capacity(awaiting);
+        for _ in 0..awaiting {
+            let frame = read_mux_frame(io)?;
+            bytes_received += LENGTH_PREFIX_BYTES + frame.wire_size();
+            payloads.push(frame);
+        }
+        let t0 = Instant::now();
+        let replies = client.handle_parallel(&payloads, threads)?;
+        decode_wall_s += t0.elapsed().as_secs_f64();
+
+        awaiting = 0;
+        for reply in replies {
+            bytes_sent += LENGTH_PREFIX_BYTES + reply.wire_size();
+            let is_done = reply.message == EngineMessage::Done;
+            write_mux_frame(io, &reply)?;
+            if !is_done {
+                awaiting += 1;
+            }
+        }
+        // Enforced per shard: one wedged shard (e.g. a mis-configured α)
+        // must not get to spend the finished shards' allowance too.
+        if client
+            .units_by_shard()
+            .any(|(_, units)| units > config.max_units_per_shard)
+        {
+            return Err(EngineError::DecodeIncomplete);
+        }
+    }
+
+    let units = client.units();
+    let differences = client.into_differences()?;
+    let outcome = TcpSyncOutcome {
+        shards,
+        rounds,
+        units,
+        bytes_sent,
+        bytes_received,
+        decode_wall_s,
+    };
+    Ok((differences, outcome))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reconcile_core::backends::RibltBackend;
+    use reconcile_core::handshake::server_handshake;
+    use reconcile_core::{ServerEngine, ServerMux};
+    use riblt::FixedBytes;
+    use std::net::{TcpListener, TcpStream};
+
+    type Item = FixedBytes<8>;
+
+    fn items(range: std::ops::Range<u64>) -> Vec<Item> {
+        range.map(Item::from_u64).collect()
+    }
+
+    /// A minimal in-test server: handshake, then a ServerMux over real
+    /// frames until the client closes. (The production counterpart is the
+    /// `reconciled` daemon in `crates/server`, which serves from shared
+    /// sketch caches instead of per-session engines.)
+    fn serve_once(listener: TcpListener, server_items: Vec<Item>, key: SipKey, shards: u16) {
+        let (mut conn, _) = listener.accept().unwrap();
+        let hello = Hello::new(key, shards, 8);
+        server_handshake(&mut conn, &hello).unwrap();
+        let partitioner = ShardPartitioner::new(key, shards);
+        let parts = partitioner.partition(&server_items);
+        let backend = RibltBackend::<Item>::with_key_and_alpha(8, 16, key, riblt::DEFAULT_ALPHA);
+        let mut mux = ServerMux::new(move |_session, shard| {
+            ServerEngine::new(backend.clone(), &parts[usize::from(shard)])
+        });
+        let mut retired = 0usize;
+        while retired < usize::from(shards) {
+            let frame = match read_mux_frame(&mut conn) {
+                Ok(frame) => frame,
+                Err(_) => break, // client closed
+            };
+            let was_done = frame.message == EngineMessage::Done;
+            if let Some(reply) = mux.handle(&frame).unwrap() {
+                write_mux_frame(&mut conn, &reply).unwrap();
+            }
+            if was_done {
+                retired += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn syncs_over_a_real_socket_and_adopts_server_shards() {
+        let key = SipKey::new(5, 6);
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server_items = items(0..3_000);
+        let handle = std::thread::spawn(move || serve_once(listener, server_items, key, 8));
+
+        let local = items(40..3_015);
+        let mut conn = TcpStream::connect(addr).unwrap();
+        let config = TcpSyncConfig {
+            key,
+            shards_hint: 2, // advisory only: the server's 8 must win
+            ..Default::default()
+        };
+        let (diffs, outcome) = sync_sharded_tcp(
+            &mut conn,
+            &local,
+            |_| RibltBackend::<Item>::with_key_and_alpha(8, 16, key, riblt::DEFAULT_ALPHA),
+            &config,
+        )
+        .unwrap();
+        drop(conn);
+        handle.join().unwrap();
+
+        assert_eq!(outcome.shards, 8);
+        assert_eq!(diffs.len(), 8);
+        let remote: usize = diffs.iter().map(|d| d.remote_only.len()).sum();
+        let local_only: usize = diffs.iter().map(|d| d.local_only.len()).sum();
+        assert_eq!(remote, 40);
+        assert_eq!(local_only, 15);
+        assert!(outcome.units > 0);
+        assert!(outcome.bytes_received > outcome.bytes_sent);
+    }
+
+    #[test]
+    fn key_mismatch_fails_the_handshake_not_the_decode() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().unwrap();
+            let hello = Hello::new(SipKey::new(1, 1), 4, 8);
+            // The server's handshake errors out after sending the reject.
+            assert!(server_handshake(&mut conn, &hello).is_err());
+        });
+        let mut conn = TcpStream::connect(addr).unwrap();
+        let config = TcpSyncConfig {
+            key: SipKey::new(2, 2),
+            ..Default::default()
+        };
+        let err = sync_sharded_tcp(
+            &mut conn,
+            &items(0..10),
+            |_| RibltBackend::<Item>::new(8, 16),
+            &config,
+        )
+        .unwrap_err();
+        assert!(matches!(err, EngineError::Handshake(_)), "{err}");
+        handle.join().unwrap();
+    }
+}

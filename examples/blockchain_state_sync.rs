@@ -20,8 +20,8 @@
 use std::net::{TcpListener, TcpStream};
 use std::thread;
 
-use netsim::{read_frame, write_frame};
 use reconcile_core::backends::RibltBackend;
+use reconcile_core::framing::{read_frame, write_frame};
 use reconcile_core::{ClientEngine, EngineMessage, ServerEngine};
 use statesync::{Chain, ChainConfig, Ledger, LedgerItem, ITEM_LEN};
 

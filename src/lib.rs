@@ -15,4 +15,5 @@ pub use pinsketch;
 pub use reconcile_core;
 pub use riblt;
 pub use riblt_hash;
+pub use server;
 pub use statesync;

@@ -1,0 +1,386 @@
+//! Perf-snapshot harness: pinned-seed micro-benches over the hot paths,
+//! written to `BENCH_<date>.json` in the stable schema described in
+//! `riblt_bench::snapshot`. Checked-in snapshots at the repo root form the
+//! performance trajectory of the codebase; the CI `perf-smoke` job runs
+//! `--quick` on every push and validates the emitted file.
+//!
+//! Usage:
+//!
+//! ```text
+//! perf_snapshot [--quick|--full] [--seed N] [--out PATH]
+//! perf_snapshot --validate FILE     # schema-check an existing snapshot
+//! ```
+//!
+//! Benches (all deterministic inputs, wall-clock timed):
+//! - `encode_throughput/{32B,8B}` — coded symbols produced per second from
+//!   a loaded encoder (fig08's computation axis).
+//! - `decode_throughput/{32B,8B}` — differences recovered per second by a
+//!   fresh decoder over pre-produced coded symbols (fig09's axis; the 32B
+//!   number is the one tracked across PRs).
+//! - `sketch_subtract/32B` — cell-wise sketch subtraction, pure symbol XOR.
+//! - `mux_sharded_decode/32B` — two cluster nodes reconciling over the
+//!   simulated mux protocol; reports the measured decode/serve wall time.
+//! - `daemon_stream/32B` — a real TCP round against an in-process daemon,
+//!   client and server on loopback.
+
+use cluster::{reconcile_pair, Node, NodeConfig, PairSyncConfig};
+use netsim::{LinkConfig, Topology};
+use reconcile_core::backends::RibltBackend;
+use riblt::{Decoder, Encoder, Sketch};
+use riblt_bench::snapshot::{today_utc, validate, BenchRecord, Snapshot};
+use riblt_bench::{items32, set_pair32, timed, Item32, Item8, RunScale};
+use riblt_hash::splitmix64;
+use server::{Daemon, DaemonConfig};
+use statesync::{sync_sharded_tcp, TcpSyncConfig};
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn main() {
+    let cli = match Cli::parse(std::env::args().skip(1)) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!(
+                "usage: perf_snapshot [--quick|--full] [--seed N] [--out PATH] | --validate FILE"
+            );
+            std::process::exit(2);
+        }
+    };
+
+    if let Some(path) = &cli.validate {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("error: cannot read {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        match validate(&text) {
+            Ok(()) => {
+                println!("{path}: valid perf snapshot");
+                return;
+            }
+            Err(reason) => {
+                eprintln!("{path}: schema violation: {reason}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let scale = cli.scale;
+    let seed = cli.seed;
+    eprintln!("# perf_snapshot ({:?} mode, seed {seed})", scale);
+
+    let mut benches = Vec::new();
+    benches.extend(bench_encode(scale, seed));
+    benches.extend(bench_decode(scale, seed));
+    benches.push(bench_sketch_subtract(scale, seed));
+    benches.push(bench_mux_sharded(scale, seed));
+    benches.push(bench_daemon_stream(scale, seed));
+
+    let snapshot = Snapshot {
+        generated: today_utc(),
+        mode: match scale {
+            RunScale::Quick => "quick".into(),
+            RunScale::Full => "full".into(),
+        },
+        seed,
+        benches,
+    };
+    let text = snapshot.to_json();
+    validate(&text).expect("emitted snapshot must satisfy its own schema");
+
+    let out = cli
+        .out
+        .unwrap_or_else(|| format!("BENCH_{}.json", snapshot.generated));
+    std::fs::write(&out, &text).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    eprintln!("# wrote {out}");
+}
+
+struct Cli {
+    scale: RunScale,
+    seed: u64,
+    out: Option<String>,
+    validate: Option<String>,
+}
+
+impl Cli {
+    fn parse(args: impl Iterator<Item = String>) -> Result<Cli, String> {
+        let mut cli = Cli {
+            scale: RunScale::Quick,
+            seed: 0,
+            out: None,
+            validate: None,
+        };
+        let mut args = args.peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--quick" => cli.scale = RunScale::Quick,
+                "--full" => cli.scale = RunScale::Full,
+                "--seed" => {
+                    let value = args.next().ok_or("--seed needs a value")?;
+                    cli.seed = value
+                        .parse()
+                        .map_err(|_| format!("bad --seed value: {value}"))?;
+                }
+                "--out" => cli.out = Some(args.next().ok_or("--out needs a path")?),
+                "--validate" => cli.validate = Some(args.next().ok_or("--validate needs a file")?),
+                other => return Err(format!("unknown argument: {other}")),
+            }
+        }
+        Ok(cli)
+    }
+}
+
+/// Per-bench seeds are derived from the user seed so `--seed` re-randomizes
+/// every bench while seed 0 stays byte-reproducible.
+fn derive(seed: u64, salt: u64) -> u64 {
+    splitmix64(seed ^ salt)
+}
+
+fn bench_encode(scale: RunScale, seed: u64) -> Vec<BenchRecord> {
+    let n = scale.pick(20_000u64, 200_000u64);
+    let produced = scale.pick(40_000usize, 400_000usize);
+    let mut out = Vec::new();
+
+    let items = items32(n, derive(seed, 0xe8c0));
+    let mut enc = Encoder::<Item32>::new();
+    for item in &items {
+        enc.add_symbol(*item).unwrap();
+    }
+    let (coded, secs) = timed(|| enc.produce_coded_symbols(produced));
+    assert_eq!(coded.len(), produced);
+    out.push(record_encode(
+        "encode_throughput/32B",
+        32,
+        n,
+        produced,
+        secs,
+    ));
+
+    let items: Vec<Item8> = riblt_bench::items8(n, derive(seed, 0xe8c1));
+    let mut enc = Encoder::<Item8>::new();
+    for item in &items {
+        enc.add_symbol(*item).unwrap();
+    }
+    let (coded, secs) = timed(|| enc.produce_coded_symbols(produced));
+    assert_eq!(coded.len(), produced);
+    out.push(record_encode("encode_throughput/8B", 8, n, produced, secs));
+    out
+}
+
+fn record_encode(name: &str, bytes: u64, n: u64, produced: usize, secs: f64) -> BenchRecord {
+    BenchRecord::new(name)
+        .param("symbol_bytes", bytes as f64)
+        .param("set_size", n as f64)
+        .param("coded_symbols", produced as f64)
+        .metric("wall_s", secs)
+        .metric("coded_symbols_per_s", produced as f64 / secs)
+        .metric("mb_per_s", produced as f64 * bytes as f64 / secs / 1e6)
+}
+
+fn bench_decode(scale: RunScale, seed: u64) -> Vec<BenchRecord> {
+    let d = scale.pick(10_000u64, 50_000u64);
+    let trials = scale.pick(3u32, 5u32);
+    vec![
+        decode_one::<Item32>("decode_throughput/32B", 32, d, trials, derive(seed, 0xdec0)),
+        decode_one::<Item8>("decode_throughput/8B", 8, d, trials, derive(seed, 0xdec1)),
+    ]
+}
+
+/// fig09-style decode: the coded symbols are produced once, then each trial
+/// times a fresh decoder ingesting them until the difference is recovered.
+fn decode_one<S>(name: &str, bytes: u64, d: u64, trials: u32, seed: u64) -> BenchRecord
+where
+    S: riblt::Symbol + Copy + Ord + From64,
+{
+    let items: Vec<S> = distinct_items(d, seed);
+    let mut enc = Encoder::<S>::new();
+    for item in &items {
+        enc.add_symbol(*item).unwrap();
+    }
+    let coded = enc.produce_coded_symbols(2 * d as usize + 4);
+
+    let mut total_s = 0.0;
+    let mut used_total = 0usize;
+    for _ in 0..trials {
+        let ((recovered, used), secs) = timed(|| {
+            let mut dec = Decoder::<S>::new();
+            let mut used = 0;
+            for cs in &coded {
+                dec.add_coded_symbol(cs.clone());
+                used += 1;
+                if dec.is_decoded() {
+                    break;
+                }
+            }
+            (dec.recovered_count(), used)
+        });
+        assert_eq!(recovered, d as usize, "{name}: decode failed");
+        total_s += secs;
+        used_total += used;
+    }
+
+    BenchRecord::new(name)
+        .param("symbol_bytes", bytes as f64)
+        .param("difference", d as f64)
+        .param("trials", trials as f64)
+        .metric("wall_s", total_s)
+        .metric("diffs_per_s", d as f64 * trials as f64 / total_s)
+        .metric("coded_symbols_per_s", used_total as f64 / total_s)
+}
+
+/// Item construction shared by the generic decode bench.
+trait From64 {
+    fn from64(v: u64) -> Self;
+}
+
+impl From64 for Item32 {
+    fn from64(v: u64) -> Self {
+        let mut bytes = [0u8; 32];
+        let mut state = riblt_hash::SplitMix64::new(v | 1);
+        state.fill_bytes(&mut bytes);
+        riblt::FixedBytes(bytes)
+    }
+}
+
+impl From64 for Item8 {
+    fn from64(v: u64) -> Self {
+        Item8::from_u64(v | 1)
+    }
+}
+
+fn distinct_items<S: From64>(n: u64, seed: u64) -> Vec<S> {
+    let mut gen = riblt_hash::SplitMix64::new(splitmix64(seed) | 1);
+    let mut seen = std::collections::HashSet::with_capacity(n as usize);
+    let mut out = Vec::with_capacity(n as usize);
+    while out.len() < n as usize {
+        let v = gen.next_u64();
+        if seen.insert(v) {
+            out.push(S::from64(v));
+        }
+    }
+    out
+}
+
+fn bench_sketch_subtract(scale: RunScale, seed: u64) -> BenchRecord {
+    let cells = scale.pick(100_000usize, 500_000usize);
+    let trials = scale.pick(20u32, 50u32);
+    let n = scale.pick(10_000u64, 50_000u64);
+
+    let pair = set_pair32(n, n / 10, derive(seed, 0x5b));
+    let a = Sketch::<Item32>::from_set(cells, pair.alice.iter());
+    let b = Sketch::<Item32>::from_set(cells, pair.bob.iter());
+
+    let mut total_s = 0.0;
+    for _ in 0..trials {
+        let mut work = a.clone();
+        let (_, secs) = timed(|| work.subtract(&b).expect("geometry matches"));
+        total_s += secs;
+        std::hint::black_box(&work);
+    }
+
+    let total_cells = cells as f64 * trials as f64;
+    BenchRecord::new("sketch_subtract/32B")
+        .param("symbol_bytes", 32.0)
+        .param("cells", cells as f64)
+        .param("trials", trials as f64)
+        .metric("wall_s", total_s)
+        .metric("cells_per_s", total_cells / total_s)
+        .metric("mb_per_s", total_cells * 32.0 / total_s / 1e6)
+}
+
+fn bench_mux_sharded(scale: RunScale, seed: u64) -> BenchRecord {
+    let n = scale.pick(20_000u64, 100_000u64);
+    let d = scale.pick(2_000u64, 10_000u64);
+    let shards = 8u16;
+
+    let pair = set_pair32(n, d, derive(seed, 0x30c5));
+    let config = NodeConfig::new(shards, 32);
+    let mut nodes = vec![Node::new(0, config), Node::new(1, config)];
+    for item in pair.alice {
+        nodes[0].insert(item);
+    }
+    for item in pair.bob {
+        nodes[1].insert(item);
+    }
+
+    let mut topology = Topology::full_mesh(2, LinkConfig::paper_default());
+    let outcome = reconcile_pair(
+        &mut nodes,
+        0,
+        1,
+        &mut topology,
+        &PairSyncConfig::default(),
+        1,
+        0.0,
+    )
+    .expect("pair reconciliation");
+    assert_eq!(nodes[0].digest(), nodes[1].digest(), "nodes converged");
+
+    BenchRecord::new("mux_sharded_decode/32B")
+        .param("symbol_bytes", 32.0)
+        .param("set_size", n as f64)
+        .param("difference", d as f64)
+        .param("shards", shards as f64)
+        .metric("wall_s", outcome.decode_wall_s + outcome.serve_wall_s)
+        .metric("decode_wall_s", outcome.decode_wall_s)
+        .metric("serve_wall_s", outcome.serve_wall_s)
+        .metric("diffs_per_s", d as f64 / outcome.decode_wall_s)
+        .metric("units", outcome.units as f64)
+        .metric("rounds", outcome.rounds as f64)
+}
+
+fn bench_daemon_stream(scale: RunScale, seed: u64) -> BenchRecord {
+    let n = scale.pick(20_000u64, 100_000u64);
+    let d = scale.pick(1_000u64, 5_000u64);
+
+    let pair = set_pair32(n, d, derive(seed, 0xdae0));
+    let config = DaemonConfig {
+        shards: 8,
+        symbol_len: 32,
+        read_timeout: Duration::from_secs(30),
+        write_timeout: Duration::from_secs(30),
+        ..Default::default()
+    };
+    let key = config.key;
+    let daemon = Daemon::spawn(config, pair.alice).expect("daemon spawn");
+
+    let mut conn = TcpStream::connect(daemon.data_addr()).expect("connect");
+    conn.set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let ((diffs, _outcome), secs) = timed(|| {
+        sync_sharded_tcp(
+            &mut conn,
+            &pair.bob,
+            |_| RibltBackend::<Item32>::with_key_and_alpha(32, 32, key, riblt::DEFAULT_ALPHA),
+            &TcpSyncConfig {
+                key,
+                symbol_len: 32,
+                ..Default::default()
+            },
+        )
+        .expect("tcp sync")
+    });
+    drop(conn);
+    let recovered: usize = diffs
+        .iter()
+        .map(|diff| diff.remote_only.len() + diff.local_only.len())
+        .sum();
+    assert_eq!(
+        recovered, d as usize,
+        "daemon stream recovered the difference"
+    );
+    let stats = daemon.stats();
+    daemon.shutdown();
+
+    BenchRecord::new("daemon_stream/32B")
+        .param("symbol_bytes", 32.0)
+        .param("set_size", n as f64)
+        .param("difference", d as f64)
+        .param("shards", 8.0)
+        .metric("wall_s", secs)
+        .metric("diffs_per_s", d as f64 / secs)
+        .metric("server_bytes_out", stats.bytes_out as f64)
+        .metric("server_serve_cpu_s", stats.serve_cpu_s)
+}

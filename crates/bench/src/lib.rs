@@ -12,6 +12,8 @@ use riblt::FixedBytes;
 use riblt_hash::{splitmix64, SplitMix64};
 
 mod cli;
+pub mod json;
+pub mod snapshot;
 
 pub use cli::{BenchCli, CsvSink};
 

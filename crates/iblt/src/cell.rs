@@ -33,6 +33,7 @@ impl<S: Symbol> Default for Cell<S> {
 
 impl<S: Symbol> Cell<S> {
     /// Mixes an item in (`sign = +1`) or out (`sign = -1`).
+    #[inline]
     pub fn apply(&mut self, item: &HashedSymbol<S>, sign: i64) {
         debug_assert!(sign == 1 || sign == -1);
         self.key_sum.xor_in_place(&item.symbol);
@@ -41,6 +42,7 @@ impl<S: Symbol> Cell<S> {
     }
 
     /// Cell-wise subtraction (`IBLT(A) ⊖ IBLT(B)`).
+    #[inline]
     pub fn subtract(&mut self, other: &Cell<S>) {
         self.key_sum.xor_in_place(&other.key_sum);
         self.hash_sum ^= other.hash_sum;
@@ -48,12 +50,14 @@ impl<S: Symbol> Cell<S> {
     }
 
     /// True if nothing is mixed into the cell.
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.count == 0 && self.hash_sum == 0 && self.key_sum.is_zero()
     }
 
     /// True if the cell holds exactly one item (pure), detected by the
     /// count being ±1 and the hash matching.
+    #[inline]
     pub fn is_pure(&self, key: SipKey) -> bool {
         (self.count == 1 || self.count == -1) && self.key_sum.hash_with(key) == self.hash_sum
     }

@@ -8,6 +8,25 @@
 
 use crate::symbol::{HashedSymbol, Symbol};
 
+/// Hints the CPU to pull the referenced value toward L1. The coding-window
+/// and peeling walks touch cells at mapping-determined (effectively random)
+/// indices across working sets that outgrow L2 for large differences;
+/// issuing the fetch as soon as the next index is known hides most of the
+/// miss latency behind the walk's serial index-sampling chain.
+/// `_mm_prefetch` is architecturally a hint — it cannot fault — so the only
+/// unsafe part is the intrinsic call itself.
+#[inline(always)]
+pub(crate) fn prefetch<T>(cell: &T) {
+    #[cfg(target_arch = "x86_64")]
+    unsafe {
+        std::arch::x86_64::_mm_prefetch::<{ std::arch::x86_64::_MM_HINT_T0 }>(
+            cell as *const T as *const i8,
+        );
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = cell;
+}
+
 /// Direction in which a source symbol is applied to a coded symbol.
 ///
 /// `Add` corresponds to symbols from the local/remote set being mixed in;

@@ -14,7 +14,7 @@
 
 use riblt_hash::SipKey;
 
-use crate::coded::{CodedSymbol, Direction, PeelState};
+use crate::coded::{prefetch, CodedSymbol, Direction};
 use crate::encoder::CodingWindow;
 use crate::error::{Error, Result};
 use crate::mapping::{IndexMapping, DEFAULT_ALPHA};
@@ -42,6 +42,21 @@ impl<S> SetDifference<S> {
     }
 }
 
+/// Number of pure symbols peeled and propagated jointly per round of
+/// [`Decoder::peel`]. Each symbol's propagation walk is one long serial
+/// dependency chain (PRNG draw → jump factor → next index); interleaving
+/// a few walks keeps several chains in flight, which roughly divides the
+/// walk latency during the peeling avalanche (when the candidate queue
+/// is deep enough to fill the lanes).
+const PEEL_LANES: usize = 4;
+
+/// Indices generated ahead of application per lane per wave during batched
+/// propagation. A wave of 4 lanes × 8 steps puts ~16 generations (hundreds
+/// of cycles) between a cell's prefetch and its touch — enough to cover a
+/// miss to L3 or DRAM, which matters once the coded-symbol array outgrows
+/// L2 (it does for differences above a few thousand 32-byte symbols).
+const WAVE_STEPS: usize = 8;
+
 /// Streaming peeling decoder.
 ///
 /// ```
@@ -67,6 +82,19 @@ impl<S> SetDifference<S> {
 pub struct Decoder<S: Symbol> {
     /// Stored difference coded symbols, pruned of everything recovered.
     coded: Vec<CodedSymbol<S>>,
+    /// Whether each cell currently has a pending entry in `pure_queue`,
+    /// kept in lockstep with `coded`.
+    ///
+    /// Purity is verified *lazily*: a cell becomes a peel candidate the
+    /// moment a mutation leaves `count == ±1` (a register compare — no
+    /// hashing), and the SipHash purity check runs once when the candidate
+    /// is popped. Cells whose count moved away from ±1 while queued are
+    /// discarded unhashed, so transiently-pure cells in the peeling
+    /// avalanche never cost a hash. The flag dedupes queue entries: a cell
+    /// is re-queued only after its pending entry has been popped.
+    queued: Vec<bool>,
+    /// Cached termination flag; see [`Self::is_decoded`].
+    decoded: bool,
     /// The local set (B), applied lazily to incoming coded symbols.
     local_set: CodingWindow<S>,
     /// Recovered remote-only symbols; subtracted from future coded symbols.
@@ -75,6 +103,14 @@ pub struct Decoder<S: Symbol> {
     local_recovered: CodingWindow<S>,
     /// Indices of cells that may currently be pure.
     pure_queue: Vec<usize>,
+    /// Scratch for [`Self::peel`]'s batched propagation: verified pure
+    /// symbols (with side and source cell) and their walk mappings. Kept on
+    /// the decoder so the peel loop never allocates in steady state.
+    batch: Vec<(HashedSymbol<S>, bool, usize)>,
+    batch_mappings: Vec<IndexMapping>,
+    /// Scratch for one propagation wave: `(lane, cell index)` pairs
+    /// generated ahead of application (see [`Self::recover_batch`]).
+    pending: Vec<(usize, usize)>,
     key: SipKey,
     alpha: f64,
 }
@@ -102,13 +138,32 @@ impl<S: Symbol> Decoder<S> {
     pub fn with_key_and_alpha(key: SipKey, alpha: f64) -> Self {
         Decoder {
             coded: Vec::new(),
+            queued: Vec::new(),
+            decoded: false,
             local_set: CodingWindow::new(key, alpha),
             remote_recovered: CodingWindow::new(key, alpha),
             local_recovered: CodingWindow::new(key, alpha),
             pure_queue: Vec::new(),
+            batch: Vec::new(),
+            batch_mappings: Vec::new(),
+            pending: Vec::with_capacity(PEEL_LANES * WAVE_STEPS),
             key,
             alpha,
         }
+    }
+
+    /// Pre-sizes the internal buffers for an anticipated difference of `d`
+    /// symbols: the paper's expected overhead is ≈1.35·d coded symbols for
+    /// large d (§5), so callers that know (or can bound) the difference can
+    /// avoid reallocation in the hot ingest loop.
+    pub fn reserve_for_difference(&mut self, d: usize) {
+        let expected_coded = d + d / 2 + 8; // ceil(1.35d) plus slack
+        self.coded
+            .reserve(expected_coded.saturating_sub(self.coded.len()));
+        self.queued
+            .reserve(expected_coded.saturating_sub(self.queued.len()));
+        self.pure_queue
+            .reserve(d.saturating_sub(self.pure_queue.len()));
     }
 
     /// Number of coded symbols ingested so far.
@@ -154,13 +209,21 @@ impl<S: Symbol> Decoder<S> {
     where
         I: IntoIterator<Item = CodedSymbol<S>>,
     {
-        let mut used = 0;
+        // Already decoded: drop the whole batch without entering the
+        // per-symbol loop at all.
         if self.is_decoded() {
-            return used;
+            return 0;
         }
-        for cs in symbols {
+        let iter = symbols.into_iter();
+        let (batch_hint, _) = iter.size_hint();
+        self.coded.reserve(batch_hint);
+        self.queued.reserve(batch_hint);
+        let mut used = 0;
+        for cs in iter {
             self.add_coded_symbol(cs);
             used += 1;
+            // `is_decoded` is a cached-state read (no re-hash, no byte
+            // scan), so checking once per consumed symbol is free.
             if self.is_decoded() {
                 break;
             }
@@ -178,77 +241,177 @@ impl<S: Symbol> Decoder<S> {
         self.local_recovered.apply_next(&mut cs, Direction::Add);
 
         let idx = self.coded.len();
+        let candidate = cs.count == 1 || cs.count == -1;
         self.coded.push(cs);
-        if matches!(
-            self.coded[idx].peel_state(self.key),
-            PeelState::PureRemote | PeelState::PureLocal
-        ) {
+        self.queued.push(candidate);
+        if candidate {
             self.pure_queue.push(idx);
         }
         self.peel();
+        // Termination indicator (§4.1): cell 0 drained to empty. Evaluated
+        // once per ingested symbol so `is_decoded` is a cached-flag read.
+        self.decoded = self.coded[0].is_empty_cell();
     }
 
     /// Runs the peeling loop until no pure cells remain.
+    ///
+    /// Queue entries are *candidates* (`count` hit ±1 at some mutation);
+    /// purity is verified once per pop, with a single hash of the cell's
+    /// sum. Candidates whose count has since moved away from ±1 are dropped
+    /// with no hash at all. Verified symbols are *taken* out of their source
+    /// cells (which drain to empty anyway) rather than cloned, then
+    /// propagated in batches of up to [`PEEL_LANES`].
+    ///
+    /// Batching is sound because peeling is confluent (the set of symbols
+    /// recoverable by repeated pure-cell removal is unique regardless of
+    /// order), and because the members of one batch can never be mapped to
+    /// each other's source cells: if symbol `B` were mapped to the source
+    /// cell of batch-mate `A`, that cell would still contain `B`'s
+    /// (unpropagated) contribution and could not have passed `A`'s purity
+    /// check.
     fn peel(&mut self) {
-        while let Some(idx) = self.pure_queue.pop() {
-            match self.coded[idx].peel_state(self.key) {
-                PeelState::PureRemote => {
-                    let sym = self.coded[idx].sum.clone();
-                    let hash = self.coded[idx].checksum;
-                    self.recover(sym, hash, true);
+        loop {
+            // Phase 1: pop candidates until a batch of verified pure cells
+            // is assembled (or the queue runs dry).
+            let mut batch = std::mem::take(&mut self.batch);
+            batch.clear();
+            while batch.len() < PEEL_LANES {
+                let Some(idx) = self.pure_queue.pop() else {
+                    break;
+                };
+                self.queued[idx] = false;
+                let cell = &self.coded[idx];
+                let is_remote = match cell.count {
+                    1 => true,
+                    -1 => false,
+                    // The cell was resolved (or re-mixed) while it sat in
+                    // the queue; a later mutation re-queues it if it turns
+                    // pure again.
+                    _ => continue,
+                };
+                let hash = cell.checksum;
+                // The same symbol can sit pure in two cells at once; peel
+                // it once and let its propagation drain the sibling cell.
+                if batch.iter().any(|(h, _, _)| h.hash == hash) {
+                    continue;
                 }
-                PeelState::PureLocal => {
-                    let sym = self.coded[idx].sum.clone();
-                    let hash = self.coded[idx].checksum;
-                    self.recover(sym, hash, false);
+                if cell.sum.hash_with(self.key) != hash {
+                    // count == ±1 but several symbols are mixed in (§3).
+                    continue;
                 }
-                // The cell was resolved while it sat in the queue.
-                PeelState::Empty | PeelState::Mixed => {}
+                // A pure cell holds exactly its one symbol: sum is the
+                // symbol, checksum is its hash. Peeling empties the cell,
+                // so settle it by moving the fields out; the propagation
+                // walk skips it below.
+                let symbol = std::mem::take(&mut self.coded[idx].sum);
+                self.coded[idx].checksum = 0;
+                self.coded[idx].count = 0;
+                batch.push((HashedSymbol::with_hash(symbol, hash), is_remote, idx));
             }
+            if batch.is_empty() {
+                // The inner loop only stops short of a full batch when the
+                // queue is drained, so peeling is complete.
+                self.batch = batch;
+                return;
+            }
+            self.recover_batch(&batch);
+            self.register_recovered(batch);
         }
     }
 
-    /// Removes a newly recovered symbol from every stored coded symbol it is
-    /// mapped to, queues any cells that became pure, and registers it so
-    /// that *future* incoming coded symbols are adjusted too.
-    fn recover(&mut self, symbol: S, hash: u64, is_remote: bool) {
-        let hashed = HashedSymbol::with_hash(symbol, hash);
-        let mut mapping = IndexMapping::with_alpha(hash, self.alpha);
+    /// Phase 2 of [`Self::peel`]: removes each freshly recovered symbol from
+    /// every stored coded symbol it is mapped to (except its own source
+    /// cell, already settled) and queues any cells that became candidates.
+    ///
+    /// Each wave first *generates* up to [`WAVE_STEPS`] mapped indices
+    /// per lane — interleaved one step per lane so the serial index-sampling
+    /// chains overlap — prefetching each target cell as its index appears,
+    /// and only then *applies* the wave's touches. Deferring the touches is
+    /// sound: XOR and count updates commute, per-lane application order is
+    /// preserved, and a cell left at count ±1 by the fixpoint is always
+    /// queued by whichever mutation put it there (reordering can only add
+    /// spurious candidates, which the pop-time purity check discards).
+    fn recover_batch(&mut self, batch: &[(HashedSymbol<S>, bool, usize)]) {
         let received = self.coded.len() as u64;
-        let direction = if is_remote {
-            Direction::Remove
-        } else {
-            Direction::Add
-        };
-        loop {
-            let idx = mapping.current_index();
-            if idx >= received {
-                break;
-            }
-            let cell = &mut self.coded[idx as usize];
-            cell.apply(&hashed, direction);
-            if matches!(
-                cell.peel_state(self.key),
-                PeelState::PureRemote | PeelState::PureLocal
-            ) {
-                self.pure_queue.push(idx as usize);
-            }
-            mapping.advance();
+        let mut mappings = std::mem::take(&mut self.batch_mappings);
+        mappings.clear();
+        for (hashed, _, _) in batch {
+            mappings.push(IndexMapping::with_alpha(hashed.hash, self.alpha));
         }
-        if is_remote {
-            self.remote_recovered.push_with_mapping(hashed, mapping);
-        } else {
-            self.local_recovered.push_with_mapping(hashed, mapping);
+        let mut live = batch.len();
+        let mut done = [false; PEEL_LANES];
+        let mut pending = std::mem::take(&mut self.pending);
+        while live > 0 {
+            pending.clear();
+            for _ in 0..WAVE_STEPS {
+                if live == 0 {
+                    break;
+                }
+                for (lane, mapping) in mappings.iter_mut().enumerate() {
+                    if done[lane] {
+                        continue;
+                    }
+                    let idx = mapping.current_index();
+                    if idx >= received {
+                        done[lane] = true;
+                        live -= 1;
+                        continue;
+                    }
+                    mapping.advance();
+                    let idx = idx as usize;
+                    prefetch(&self.coded[idx]);
+                    pending.push((lane, idx));
+                }
+            }
+            for &(lane, idx) in &pending {
+                let (hashed, is_remote, source_idx) = &batch[lane];
+                if idx == *source_idx {
+                    continue;
+                }
+                let cell = &mut self.coded[idx];
+                cell.apply(
+                    hashed,
+                    if *is_remote {
+                        Direction::Remove
+                    } else {
+                        Direction::Add
+                    },
+                );
+                if (cell.count == 1 || cell.count == -1) && !self.queued[idx] {
+                    self.queued[idx] = true;
+                    self.pure_queue.push(idx);
+                }
+            }
         }
+        self.pending = pending;
+        self.batch_mappings = mappings;
+    }
+
+    /// Registers a propagated batch with the recovered-symbol windows so
+    /// *future* incoming coded symbols are adjusted too, and returns the
+    /// batch scratch buffer to the decoder.
+    fn register_recovered(&mut self, mut batch: Vec<(HashedSymbol<S>, bool, usize)>) {
+        for ((hashed, is_remote, _), mapping) in batch.drain(..).zip(self.batch_mappings.drain(..))
+        {
+            if is_remote {
+                self.remote_recovered.push_with_mapping(hashed, mapping);
+            } else {
+                self.local_recovered.push_with_mapping(hashed, mapping);
+            }
+        }
+        self.batch = batch;
     }
 
     /// True once every difference symbol has been recovered.
     ///
     /// Detection uses the paper's termination indicator: coded symbol 0
     /// contains every unrecovered difference symbol, so reconciliation is
-    /// complete exactly when it has drained to the empty cell.
+    /// complete exactly when it has drained to the empty cell. The check
+    /// reads a flag refreshed once per ingested symbol — no bytes are
+    /// rescanned here.
+    #[inline]
     pub fn is_decoded(&self) -> bool {
-        !self.coded.is_empty() && self.coded[0].is_empty_cell()
+        self.decoded
     }
 
     /// Symbols recovered so far that only the remote set contains (A \ B).

@@ -13,10 +13,13 @@ use std::collections::BinaryHeap;
 
 use riblt_hash::SipKey;
 
-use crate::coded::{CodedSymbol, Direction};
+use crate::coded::{prefetch, CodedSymbol, Direction};
 use crate::error::{Error, Result};
 use crate::mapping::{IndexMapping, DEFAULT_ALPHA};
 use crate::symbol::{HashedSymbol, Symbol};
+
+/// Sentinel terminating a bucket chain in [`CodingWindow`].
+const NO_POS: u32 = u32::MAX;
 
 /// The coding window: source symbols ordered by the next coded-symbol index
 /// they are mapped to.
@@ -24,12 +27,29 @@ use crate::symbol::{HashedSymbol, Symbol};
 /// Shared by the encoder (which *adds* symbols into produced coded symbols)
 /// and the decoder (which lazily generates its local set's contribution and
 /// subtracts it, and maintains windows of recovered symbols).
+///
+/// Scheduling uses a calendar queue instead of a binary heap: coded-symbol
+/// indices are produced strictly in order 0, 1, 2, …, so each symbol is
+/// parked in an O(1) intrusive bucket chain keyed by its next mapped index.
+/// Only far-tail jumps (a few percent — the mapping's jump length is
+/// proportional to the current index) fall back to a small overflow heap.
+/// This removes the O(log n) sift, and its cache misses, from every one of
+/// the O(d log d) symbol touches of an encode or decode pass. The order in
+/// which co-mapped symbols are applied within one index differs from the
+/// heap's, but application is XOR/add — commutative — so every produced
+/// coded symbol is byte-identical.
 #[derive(Debug, Clone)]
 pub(crate) struct CodingWindow<S: Symbol> {
     symbols: Vec<HashedSymbol<S>>,
     mappings: Vec<IndexMapping>,
-    /// Min-heap of (next mapped index, position in `symbols`).
-    heap: BinaryHeap<Reverse<(u64, usize)>>,
+    /// `bucket_head[i]` is the first position in the chain of symbols whose
+    /// next mapped index is `i` ([`NO_POS`] = empty). Grows lazily, bounded
+    /// to a constant factor of the produced prefix (see [`Self::enqueue`]).
+    bucket_head: Vec<u32>,
+    /// Intrusive chain links, parallel to `symbols`.
+    bucket_next: Vec<u32>,
+    /// (next mapped index, position) entries beyond the bucketed horizon.
+    overflow: BinaryHeap<Reverse<(u64, u32)>>,
     /// Index of the next coded symbol this window will contribute to.
     next_index: u64,
     key: SipKey,
@@ -41,7 +61,9 @@ impl<S: Symbol> CodingWindow<S> {
         CodingWindow {
             symbols: Vec::new(),
             mappings: Vec::new(),
-            heap: BinaryHeap::new(),
+            bucket_head: Vec::new(),
+            bucket_next: Vec::new(),
+            overflow: BinaryHeap::new(),
             next_index: 0,
             key,
             alpha,
@@ -64,6 +86,37 @@ impl<S: Symbol> CodingWindow<S> {
         self.next_index
     }
 
+    /// Parks position `pos` to be applied at coded-symbol `index`: an O(1)
+    /// bucket push, or the overflow heap for indices far beyond the prefix
+    /// produced so far (keeps the bucket array within a constant factor of
+    /// the output length regardless of how far tail jumps land).
+    #[inline]
+    fn enqueue(&mut self, pos: u32, index: u64) {
+        debug_assert!(index >= self.next_index || self.next_index == 0);
+        let limit = 4 * (self.next_index + 1) + 1024;
+        if index < limit {
+            let i = index as usize;
+            if i >= self.bucket_head.len() {
+                self.bucket_head.resize(i + 1, NO_POS);
+            }
+            self.bucket_next[pos as usize] = self.bucket_head[i];
+            self.bucket_head[i] = pos;
+        } else {
+            self.overflow.push(Reverse((index, pos)));
+        }
+    }
+
+    /// Registers a symbol/mapping pair and parks it at its current index.
+    fn push_entry(&mut self, symbol: HashedSymbol<S>, mapping: IndexMapping) {
+        let pos = self.symbols.len();
+        assert!(pos < NO_POS as usize, "coding window position overflow");
+        let index = mapping.current_index();
+        self.symbols.push(symbol);
+        self.mappings.push(mapping);
+        self.bucket_next.push(NO_POS);
+        self.enqueue(pos as u32, index);
+    }
+
     /// Adds a symbol whose mapping starts at index 0. Only valid before the
     /// window has produced anything (`next_index == 0`); the caller enforces
     /// that and reports [`Error`] variants appropriate for its API.
@@ -77,10 +130,7 @@ impl<S: Symbol> CodingWindow<S> {
     pub(crate) fn push_fresh_with_alpha(&mut self, symbol: HashedSymbol<S>, alpha: f64) {
         debug_assert_eq!(self.next_index, 0);
         let mapping = IndexMapping::with_alpha(symbol.hash, alpha);
-        let pos = self.symbols.len();
-        self.heap.push(Reverse((mapping.current_index(), pos)));
-        self.symbols.push(symbol);
-        self.mappings.push(mapping);
+        self.push_entry(symbol, mapping);
     }
 
     /// Adds a symbol together with a mapping that has already been advanced
@@ -88,40 +138,57 @@ impl<S: Symbol> CodingWindow<S> {
     /// symbol is recovered mid-stream).
     pub(crate) fn push_with_mapping(&mut self, symbol: HashedSymbol<S>, mapping: IndexMapping) {
         debug_assert!(mapping.current_index() >= self.next_index);
-        let pos = self.symbols.len();
-        self.heap.push(Reverse((mapping.current_index(), pos)));
-        self.symbols.push(symbol);
-        self.mappings.push(mapping);
+        self.push_entry(symbol, mapping);
     }
 
     /// Applies every symbol mapped to the current index into `cs` (in the
     /// given direction) and advances the window to the next index.
     pub(crate) fn apply_next(&mut self, cs: &mut CodedSymbol<S>, direction: Direction) {
         let idx = self.next_index;
-        while let Some(&Reverse((next, pos))) = self.heap.peek() {
+        self.next_index = idx + 1;
+        if (idx as usize) < self.bucket_head.len() {
+            let mut pos = std::mem::replace(&mut self.bucket_head[idx as usize], NO_POS);
+            while pos != NO_POS {
+                let p = pos as usize;
+                // Chain entries are scattered; start the next entry's
+                // fetches before working on this one.
+                pos = self.bucket_next[p];
+                if pos != NO_POS {
+                    prefetch(&self.symbols[pos as usize]);
+                    prefetch(&self.mappings[pos as usize]);
+                }
+                cs.apply(&self.symbols[p], direction);
+                let advanced = self.mappings[p].advance();
+                self.enqueue(p as u32, advanced);
+            }
+        }
+        while let Some(&Reverse((next, pos))) = self.overflow.peek() {
             if next != idx {
-                debug_assert!(next > idx, "window fell behind its heap");
+                debug_assert!(next > idx, "window fell behind its overflow heap");
                 break;
             }
-            self.heap.pop();
-            cs.apply(&self.symbols[pos], direction);
-            let advanced = self.mappings[pos].advance();
-            self.heap.push(Reverse((advanced, pos)));
+            self.overflow.pop();
+            let p = pos as usize;
+            cs.apply(&self.symbols[p], direction);
+            let advanced = self.mappings[p].advance();
+            self.enqueue(pos, advanced);
         }
-        self.next_index = idx + 1;
     }
 
     /// Restarts emission from index 0, keeping the symbol set and each
     /// symbol's (possibly per-class) mapping parameter.
     pub(crate) fn restart(&mut self) {
-        self.heap.clear();
+        self.bucket_head.clear();
+        self.overflow.clear();
         self.next_index = 0;
+        // Every fresh mapping starts at index 0: chain them all into one
+        // bucket directly.
+        self.bucket_head.push(NO_POS);
         for (pos, sym) in self.symbols.iter().enumerate() {
             let alpha = self.mappings[pos].alpha();
-            let mapping = IndexMapping::with_alpha(sym.hash, alpha);
-            self.mappings[pos] = mapping;
-            self.heap
-                .push(Reverse((self.mappings[pos].current_index(), pos)));
+            self.mappings[pos] = IndexMapping::with_alpha(sym.hash, alpha);
+            self.bucket_next[pos] = self.bucket_head[0];
+            self.bucket_head[0] = pos as u32;
         }
     }
 

@@ -15,7 +15,7 @@
 
 use riblt_hash::{splitmix64, SipKey};
 
-use crate::coded::{CodedSymbol, Direction, PeelState};
+use crate::coded::{prefetch, CodedSymbol, Direction, PeelState};
 use crate::decoder::SetDifference;
 use crate::encoder::CodingWindow;
 use crate::error::{Error, Result};
@@ -325,6 +325,12 @@ impl<S: Symbol> Default for IrregularEncoder<S> {
 #[derive(Debug, Clone)]
 pub struct IrregularDecoder<S: Symbol> {
     coded: Vec<CodedSymbol<S>>,
+    /// Per-cell flag: true while the cell sits in `pure_queue`. Queue
+    /// entries are unverified *candidates* (`count` hit ±1); purity is
+    /// checked with a single hash at pop time, mirroring [`crate::Decoder`].
+    queued: Vec<bool>,
+    /// Cached termination flag, refreshed once per ingested symbol.
+    decoded: bool,
     local_set: CodingWindow<S>,
     remote_recovered: CodingWindow<S>,
     local_recovered: CodingWindow<S>,
@@ -345,6 +351,8 @@ impl<S: Symbol> IrregularDecoder<S> {
         let alpha = crate::mapping::DEFAULT_ALPHA;
         IrregularDecoder {
             coded: Vec::new(),
+            queued: Vec::new(),
+            decoded: false,
             local_set: CodingWindow::new(key, alpha),
             remote_recovered: CodingWindow::new(key, alpha),
             local_recovered: CodingWindow::new(key, alpha),
@@ -396,38 +404,45 @@ impl<S: Symbol> IrregularDecoder<S> {
         self.remote_recovered.apply_next(&mut cs, Direction::Remove);
         self.local_recovered.apply_next(&mut cs, Direction::Add);
         let idx = self.coded.len();
+        let candidate = cs.count == 1 || cs.count == -1;
         self.coded.push(cs);
-        if matches!(
-            self.coded[idx].peel_state(self.key),
-            PeelState::PureRemote | PeelState::PureLocal
-        ) {
+        self.queued.push(candidate);
+        if candidate {
             self.pure_queue.push(idx);
         }
         self.peel();
+        self.decoded = self.coded[0].is_empty_cell();
     }
 
+    /// Runs the peeling loop until no pure cells remain. Queue entries are
+    /// candidates (`count` hit ±1 at some mutation); purity is verified with
+    /// one hash per pop, and the verified symbol is moved out of its source
+    /// cell rather than cloned (the cell drains to empty either way).
     fn peel(&mut self) {
         while let Some(idx) = self.pure_queue.pop() {
-            match self.coded[idx].peel_state(self.key) {
-                PeelState::PureRemote => {
-                    let sym = self.coded[idx].sum.clone();
-                    let hash = self.coded[idx].checksum;
-                    self.recover(sym, hash, true);
-                }
-                PeelState::PureLocal => {
-                    let sym = self.coded[idx].sum.clone();
-                    let hash = self.coded[idx].checksum;
-                    self.recover(sym, hash, false);
-                }
-                PeelState::Empty | PeelState::Mixed => {}
+            self.queued[idx] = false;
+            let cell = &self.coded[idx];
+            let is_remote = match cell.count {
+                1 => true,
+                -1 => false,
+                // Resolved (or re-mixed) while queued; a later mutation
+                // re-queues it if it turns pure again.
+                _ => continue,
+            };
+            let hash = cell.checksum;
+            if cell.sum.hash_with(self.key) != hash {
+                continue;
             }
+            let symbol = std::mem::take(&mut self.coded[idx].sum);
+            self.coded[idx].checksum = 0;
+            self.coded[idx].count = 0;
+            self.recover(HashedSymbol::with_hash(symbol, hash), idx, is_remote);
         }
     }
 
-    fn recover(&mut self, symbol: S, hash: u64, is_remote: bool) {
-        let hashed = HashedSymbol::with_hash(symbol, hash);
-        let alpha = self.classes.alpha_of(hash);
-        let mut mapping = IndexMapping::with_alpha(hash, alpha);
+    fn recover(&mut self, hashed: HashedSymbol<S>, source_idx: usize, is_remote: bool) {
+        let alpha = self.classes.alpha_of(hashed.hash);
+        let mut mapping = IndexMapping::with_alpha(hashed.hash, alpha);
         let received = self.coded.len() as u64;
         let direction = if is_remote {
             Direction::Remove
@@ -439,15 +454,21 @@ impl<S: Symbol> IrregularDecoder<S> {
             if idx >= received {
                 break;
             }
-            let cell = &mut self.coded[idx as usize];
-            cell.apply(&hashed, direction);
-            if matches!(
-                cell.peel_state(self.key),
-                PeelState::PureRemote | PeelState::PureLocal
-            ) {
-                self.pure_queue.push(idx as usize);
+            // Advance before touching so the walk's next cell can be
+            // fetched in the shadow of this touch.
+            let next = mapping.advance();
+            if next < received {
+                prefetch(&self.coded[next as usize]);
             }
-            mapping.advance();
+            let idx = idx as usize;
+            if idx != source_idx {
+                let cell = &mut self.coded[idx];
+                cell.apply(&hashed, direction);
+                if (cell.count == 1 || cell.count == -1) && !self.queued[idx] {
+                    self.queued[idx] = true;
+                    self.pure_queue.push(idx);
+                }
+            }
         }
         if is_remote {
             self.remote_recovered.push_with_mapping(hashed, mapping);
@@ -456,9 +477,11 @@ impl<S: Symbol> IrregularDecoder<S> {
         }
     }
 
-    /// True once reconciliation is complete (cell 0 drained).
+    /// True once reconciliation is complete (cell 0 drained). Reads a flag
+    /// refreshed once per ingested symbol.
+    #[inline]
     pub fn is_decoded(&self) -> bool {
-        !self.coded.is_empty() && self.coded[0].is_empty_cell()
+        self.decoded
     }
 
     /// Consumes the decoder and returns the recovered difference.

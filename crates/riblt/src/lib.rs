@@ -76,7 +76,7 @@ pub use error::{Error, Result};
 pub use irregular::{IrregularClasses, IrregularDecoder, IrregularEncoder, IrregularSketch};
 pub use mapping::{rho, IndexMapping, DEFAULT_ALPHA};
 pub use sketch::{Sketch, SketchCache};
-pub use symbol::{FixedBytes, HashedSymbol, Symbol, VecSymbol};
+pub use symbol::{xor_bytes_in_place, FixedBytes, HashedSymbol, Symbol, VecSymbol};
 pub use wire::{decode_coded_symbols, encode_coded_symbols, SymbolCodec};
 
 /// Re-export of the keyed-hash key type used throughout the API.

@@ -15,7 +15,7 @@
 
 use riblt_hash::SipKey;
 
-use crate::coded::{CodedSymbol, Direction, PeelState};
+use crate::coded::{prefetch, CodedSymbol, Direction};
 use crate::decoder::SetDifference;
 use crate::encoder::CodingWindow;
 use crate::error::{Error, Result};
@@ -154,26 +154,37 @@ impl<S: Symbol> Sketch<S> {
     pub fn decode(&self) -> Result<SetDifference<S>> {
         let mut cells = self.cells.clone();
         let m = cells.len() as u64;
-        let mut queue: Vec<usize> = (0..cells.len())
-            .filter(|&i| {
-                matches!(
-                    cells[i].peel_state(self.key),
-                    PeelState::PureRemote | PeelState::PureLocal
-                )
-            })
-            .collect();
+        // Queue entries are candidates (`count` == ±1); purity is verified
+        // with a single hash at pop time, and `queued` keeps a cell from
+        // sitting in the queue twice. Mirrors the streaming `Decoder`.
+        let mut queued = vec![false; cells.len()];
+        let mut queue: Vec<usize> = Vec::new();
+        for (i, c) in cells.iter().enumerate() {
+            if c.count == 1 || c.count == -1 {
+                queued[i] = true;
+                queue.push(i);
+            }
+        }
         let mut diff = SetDifference::default();
 
         while let Some(idx) = queue.pop() {
-            let state = cells[idx].peel_state(self.key);
-            let is_remote = match state {
-                PeelState::PureRemote => true,
-                PeelState::PureLocal => false,
+            queued[idx] = false;
+            let cell = &cells[idx];
+            let is_remote = match cell.count {
+                1 => true,
+                -1 => false,
                 _ => continue,
             };
-            let symbol = cells[idx].sum.clone();
-            let hash = cells[idx].checksum;
-            let hashed = HashedSymbol::with_hash(symbol.clone(), hash);
+            let hash = cell.checksum;
+            if cell.sum.hash_with(self.key) != hash {
+                continue;
+            }
+            // A pure cell holds exactly its one symbol; settle it by moving
+            // the fields out and skip it on the propagation walk below.
+            let symbol = std::mem::take(&mut cells[idx].sum);
+            cells[idx].checksum = 0;
+            cells[idx].count = 0;
+            let hashed = HashedSymbol::with_hash(symbol, hash);
             let direction = if is_remote {
                 Direction::Remove
             } else {
@@ -185,19 +196,24 @@ impl<S: Symbol> Sketch<S> {
                 if i >= m {
                     break;
                 }
-                cells[i as usize].apply(&hashed, direction);
-                if matches!(
-                    cells[i as usize].peel_state(self.key),
-                    PeelState::PureRemote | PeelState::PureLocal
-                ) {
-                    queue.push(i as usize);
+                let next = mapping.advance();
+                if next < m {
+                    prefetch(&cells[next as usize]);
                 }
-                mapping.advance();
+                let i = i as usize;
+                if i != idx {
+                    let cell = &mut cells[i];
+                    cell.apply(&hashed, direction);
+                    if (cell.count == 1 || cell.count == -1) && !queued[i] {
+                        queued[i] = true;
+                        queue.push(i);
+                    }
+                }
             }
             if is_remote {
-                diff.remote_only.push(symbol);
+                diff.remote_only.push(hashed.symbol);
             } else {
-                diff.local_only.push(symbol);
+                diff.local_only.push(hashed.symbol);
             }
         }
 

@@ -21,10 +21,19 @@ use riblt_hash::{siphash24, SipKey};
 /// * [`Symbol::as_bytes`] exposes a canonical byte representation used for
 ///   the keyed checksum; two equal symbols must expose equal bytes.
 ///
-/// For variable-length symbol types, XOR-ing symbols of different non-zero
-/// lengths is a logic error in the caller; implementations may panic.
+/// **Length invariant:** all symbols mixed into the same sketch, encoder, or
+/// decoder must have the same byte length. For variable-length symbol types
+/// ([`VecSymbol`]), XOR-ing two symbols of different non-zero lengths is a
+/// logic error in the caller; implementations must reject it up front (panic
+/// with a message naming both lengths) rather than corrupt state, and the
+/// zero-length identity element adopts the width of the first real symbol
+/// XOR-ed into it.
 pub trait Symbol: Clone + PartialEq + Default {
     /// XORs `other` into `self`.
+    ///
+    /// This runs on every cell touch of encode, decode, and sketch subtract
+    /// — implementations should use [`xor_bytes_in_place`] (or equivalent)
+    /// so the compiler can vectorize it, rather than a byte-at-a-time loop.
     fn xor_in_place(&mut self, other: &Self);
 
     /// Canonical byte view used for checksum hashing.
@@ -43,8 +52,46 @@ pub trait Symbol: Clone + PartialEq + Default {
     }
 
     /// Computes the keyed 64-bit checksum hash of this symbol (paper §4.3).
+    #[inline]
     fn hash_with(&self, key: SipKey) -> u64 {
         siphash24(key, self.as_bytes())
+    }
+}
+
+/// XORs `src` into `dst`, walking 32-byte blocks of four `u64` lanes — wide
+/// enough for the compiler to lower the inner loop to 128/256-bit vector
+/// XORs (the same autovectorization contract as the CLMUL fast path in
+/// `pinsketch::gf64`) — then 8-byte words, then a byte tail. Byte-for-byte
+/// identical to the scalar loop `dst[i] ^= src[i]` for every length.
+///
+/// Both slices must have equal length; callers enforce the [`Symbol`]
+/// length invariant before getting here.
+#[inline]
+pub fn xor_bytes_in_place(dst: &mut [u8], src: &[u8]) {
+    debug_assert_eq!(dst.len(), src.len(), "xor_bytes_in_place length mismatch");
+    let mut dst_blocks = dst.chunks_exact_mut(32);
+    let mut src_blocks = src.chunks_exact(32);
+    for (d, s) in (&mut dst_blocks).zip(&mut src_blocks) {
+        for lane in 0..4 {
+            let at = lane * 8;
+            let a = u64::from_ne_bytes(d[at..at + 8].try_into().unwrap());
+            let b = u64::from_ne_bytes(s[at..at + 8].try_into().unwrap());
+            d[at..at + 8].copy_from_slice(&(a ^ b).to_ne_bytes());
+        }
+    }
+    let mut dst_words = dst_blocks.into_remainder().chunks_exact_mut(8);
+    let mut src_words = src_blocks.remainder().chunks_exact(8);
+    for (d, s) in (&mut dst_words).zip(&mut src_words) {
+        let a = u64::from_ne_bytes(d.try_into().unwrap());
+        let b = u64::from_ne_bytes(s.try_into().unwrap());
+        d.copy_from_slice(&(a ^ b).to_ne_bytes());
+    }
+    for (a, b) in dst_words
+        .into_remainder()
+        .iter_mut()
+        .zip(src_words.remainder())
+    {
+        *a ^= *b;
     }
 }
 
@@ -86,12 +133,12 @@ impl<const N: usize> Default for FixedBytes<N> {
 }
 
 impl<const N: usize> Symbol for FixedBytes<N> {
+    #[inline]
     fn xor_in_place(&mut self, other: &Self) {
-        for (a, b) in self.0.iter_mut().zip(other.0.iter()) {
-            *a ^= *b;
-        }
+        xor_bytes_in_place(&mut self.0, &other.0);
     }
 
+    #[inline]
     fn as_bytes(&self) -> &[u8] {
         &self.0
     }
@@ -144,26 +191,29 @@ impl VecSymbol {
 
 impl Symbol for VecSymbol {
     fn xor_in_place(&mut self, other: &Self) {
-        if self.0.is_empty() && !other.0.is_empty() {
-            // The identity element (`VecSymbol::default()`) carries no width;
-            // adopt the width of the first real symbol XOR-ed into it.
-            self.0 = vec![0u8; other.0.len()];
+        // Validate before touching any state: a mismatch must not leave
+        // `self` resized or half-XOR-ed.
+        if !self.0.is_empty() && !other.0.is_empty() && self.0.len() != other.0.len() {
+            panic!(
+                "VecSymbol XOR requires equal lengths ({} vs {}); all symbols \
+                 in one sketch must share one byte width",
+                self.0.len(),
+                other.0.len()
+            );
         }
         if other.0.is_empty() {
             return;
         }
-        assert_eq!(
-            self.0.len(),
-            other.0.len(),
-            "VecSymbol XOR requires equal lengths ({} vs {})",
-            self.0.len(),
-            other.0.len()
-        );
-        for (a, b) in self.0.iter_mut().zip(other.0.iter()) {
-            *a ^= *b;
+        if self.0.is_empty() {
+            // The identity element (`VecSymbol::default()`) carries no width;
+            // adopt the width of the first real symbol XOR-ed into it.
+            self.0 = other.0.clone();
+            return;
         }
+        xor_bytes_in_place(&mut self.0, &other.0);
     }
 
+    #[inline]
     fn as_bytes(&self) -> &[u8] {
         &self.0
     }
@@ -243,6 +293,83 @@ mod tests {
         let mut a = VecSymbol::new(vec![1, 2, 3]);
         let b = VecSymbol::new(vec![1, 2]);
         a.xor_in_place(&b);
+    }
+
+    #[test]
+    fn vec_symbol_untouched_by_rejected_xor() {
+        let mut a = VecSymbol::new(vec![1, 2, 3, 4, 5]);
+        let b = VecSymbol::new(vec![9; 64]);
+        let before = a.clone();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            a.xor_in_place(&b);
+        }));
+        assert!(outcome.is_err(), "mismatched XOR must panic");
+        assert_eq!(a, before, "validation happens before any mutation");
+    }
+
+    /// Scalar reference the chunked path must match byte-for-byte.
+    fn scalar_xor(dst: &mut [u8], src: &[u8]) {
+        for (a, b) in dst.iter_mut().zip(src) {
+            *a ^= *b;
+        }
+    }
+
+    fn random_buf(gen: &mut riblt_hash::SplitMix64, len: usize) -> Vec<u8> {
+        let mut buf = vec![0u8; len];
+        gen.fill_bytes(&mut buf);
+        buf
+    }
+
+    #[test]
+    fn chunked_xor_matches_scalar_for_all_lengths() {
+        let mut gen = riblt_hash::SplitMix64::new(0x0c0_ffee);
+        for len in 0..=257usize {
+            let src = random_buf(&mut gen, len);
+            let mut chunked = random_buf(&mut gen, len);
+            let mut scalar = chunked.clone();
+            xor_bytes_in_place(&mut chunked, &src);
+            scalar_xor(&mut scalar, &src);
+            assert_eq!(chunked, scalar, "length {len}");
+        }
+    }
+
+    #[test]
+    fn vec_symbol_xor_matches_scalar_for_all_lengths() {
+        let mut gen = riblt_hash::SplitMix64::new(0x7ec_70e5);
+        for len in 0..=257usize {
+            let src = random_buf(&mut gen, len);
+            let dst = random_buf(&mut gen, len);
+            let mut sym = VecSymbol::new(dst.clone());
+            sym.xor_in_place(&VecSymbol::new(src.clone()));
+            let mut scalar = dst;
+            scalar_xor(&mut scalar, &src);
+            assert_eq!(sym.0, scalar, "length {len}");
+        }
+    }
+
+    #[test]
+    fn fixed_bytes_xor_matches_scalar_at_boundary_lengths() {
+        // `FixedBytes` lengths are const generics, so the 0..=257 sweep is
+        // spelled out at every chunking boundary (32-block, 8-word, tail).
+        macro_rules! check {
+            ($($n:literal),+ $(,)?) => {{
+                let mut gen = riblt_hash::SplitMix64::new(0xf1_bed);
+                $({
+                    let src: [u8; $n] = random_buf(&mut gen, $n).try_into().unwrap();
+                    let dst: [u8; $n] = random_buf(&mut gen, $n).try_into().unwrap();
+                    let mut sym = FixedBytes(dst);
+                    sym.xor_in_place(&FixedBytes(src));
+                    let mut scalar = dst;
+                    scalar_xor(&mut scalar, &src);
+                    assert_eq!(sym.0, scalar, "FixedBytes<{}>", $n);
+                })+
+            }};
+        }
+        check!(
+            0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 15, 16, 17, 23, 24, 25, 31, 32, 33, 39, 40, 41, 47, 48,
+            63, 64, 65, 71, 95, 96, 97, 127, 128, 129, 159, 160, 161, 191, 192, 193, 223, 224, 225,
+            255, 256, 257
+        );
     }
 
     #[test]

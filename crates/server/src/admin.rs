@@ -73,7 +73,13 @@ fn execute<S: Symbol + Ord>(line: &str, shared: &SharedState<S>) -> Reply {
         "STATS" => Reply::Line(stats_line(shared)),
         "ADD" => match item_from_hex::<S>(argument, shared.config.symbol_len) {
             Some(item) => {
-                let added = shared.node.lock().expect("node lock").insert(item);
+                let mut node = shared.node.lock().expect("node lock");
+                let shard = node.shard_of(&item);
+                let added = node.insert(item);
+                if added {
+                    shared.bump_shard(shard);
+                }
+                drop(node);
                 Reply::Line(format!("OK added={}", usize::from(added)))
             }
             None => Reply::Line(format!(
@@ -83,7 +89,13 @@ fn execute<S: Symbol + Ord>(line: &str, shared: &SharedState<S>) -> Reply {
         },
         "REMOVE" => match item_from_hex::<S>(argument, shared.config.symbol_len) {
             Some(item) => {
-                let removed = shared.node.lock().expect("node lock").remove(&item);
+                let mut node = shared.node.lock().expect("node lock");
+                let shard = node.shard_of(&item);
+                let removed = node.remove(&item);
+                if removed {
+                    shared.bump_shard(shard);
+                }
+                drop(node);
                 Reply::Line(format!("OK removed={}", usize::from(removed)))
             }
             None => Reply::Line(format!(

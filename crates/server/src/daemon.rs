@@ -43,7 +43,7 @@
 use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
@@ -53,7 +53,9 @@ use reconcile_core::backends::RIBLT_STREAM_MAGIC;
 use reconcile_core::framing::{read_frame_or_eof, LENGTH_PREFIX_BYTES};
 use reconcile_core::handshake::{server_handshake, Hello, HELLO_BYTES};
 use reconcile_core::wirefmt::validate_stream_open;
-use reconcile_core::{write_mux_frame, EngineError, EngineMessage, MuxFrame, SessionId, ShardId};
+use reconcile_core::{
+    write_frame_vectored, EngineError, EngineMessage, MuxFrame, SessionId, ShardId,
+};
 use riblt::wire::SymbolCodec;
 use riblt::Symbol;
 use riblt_hash::SipKey;
@@ -146,11 +148,59 @@ pub(crate) struct SharedState<S: Symbol + Ord> {
     pub(crate) stop: AtomicBool,
     pub(crate) active: AtomicUsize,
     pub(crate) started: Instant,
+    /// Per-shard mutation generation. Bumped (under the node lock) by every
+    /// successful insert/remove; a cached wire batch is valid only while its
+    /// shard's generation is unchanged.
+    pub(crate) shard_gens: Vec<AtomicU64>,
+    /// Precomputed wire batches, keyed by `(shard, offset)`. Serving a
+    /// repeat range — every peer reads the same universal coded-symbol
+    /// prefix — becomes a map lookup plus a memcpy instead of a cache-range
+    /// read and §6 re-encode under the node lock.
+    pub(crate) wire_cache: Mutex<WireBatchCache>,
 }
 
 impl<S: Symbol + Ord> SharedState<S> {
     pub(crate) fn request_shutdown(&self) {
         self.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// Invalidates cached wire batches of `shard`. Called with the node
+    /// lock held so the generation observed during an encode is stable.
+    pub(crate) fn bump_shard(&self, shard: ShardId) {
+        self.shard_gens[usize::from(shard)].fetch_add(1, Ordering::Release);
+    }
+
+    pub(crate) fn shard_gen(&self, shard: ShardId) -> u64 {
+        self.shard_gens[usize::from(shard)].load(Ordering::Acquire)
+    }
+}
+
+/// Bound on cached wire batches across all shards; crossing it clears the
+/// cache (serves repopulate it), keeping worst-case memory small without
+/// an eviction policy on the hot path.
+const WIRE_CACHE_MAX_BATCHES: usize = 4096;
+
+/// See [`SharedState::wire_cache`].
+#[derive(Default)]
+pub(crate) struct WireBatchCache {
+    batches: HashMap<(ShardId, usize), (u64, Vec<u8>)>,
+}
+
+impl WireBatchCache {
+    fn get(&self, shard: ShardId, offset: usize, gen: u64) -> Option<Vec<u8>> {
+        match self.batches.get(&(shard, offset)) {
+            Some((cached_gen, bytes)) if *cached_gen == gen => Some(bytes.clone()),
+            _ => None,
+        }
+    }
+
+    fn insert(&mut self, shard: ShardId, offset: usize, gen: u64, bytes: Vec<u8>) {
+        if self.batches.len() >= WIRE_CACHE_MAX_BATCHES
+            && !self.batches.contains_key(&(shard, offset))
+        {
+            self.batches.clear();
+        }
+        self.batches.insert((shard, offset), (gen, bytes));
     }
 }
 
@@ -203,6 +253,7 @@ impl<S: Symbol + Ord + Send + 'static> Daemon<S> {
             node.insert(item);
         }
 
+        let shard_gens = (0..config.shards).map(|_| AtomicU64::new(0)).collect();
         let shared = Arc::new(SharedState {
             config,
             node: Mutex::new(node),
@@ -210,6 +261,8 @@ impl<S: Symbol + Ord + Send + 'static> Daemon<S> {
             stop: AtomicBool::new(false),
             active: AtomicUsize::new(0),
             started: Instant::now(),
+            shard_gens,
+            wire_cache: Mutex::new(WireBatchCache::default()),
         });
 
         let accept_shared = Arc::clone(&shared);
@@ -260,12 +313,24 @@ impl<S: Symbol + Ord + Send + 'static> Daemon<S> {
     /// Adds an item (patching O(log m) cells of its shard's cache).
     /// Returns false if it was already present.
     pub fn insert(&self, item: S) -> bool {
-        self.shared.node.lock().expect("node lock").insert(item)
+        let mut node = self.shared.node.lock().expect("node lock");
+        let shard = node.shard_of(&item);
+        let added = node.insert(item);
+        if added {
+            self.shared.bump_shard(shard);
+        }
+        added
     }
 
     /// Removes an item. Returns false if it was absent.
     pub fn remove(&self, item: &S) -> bool {
-        self.shared.node.lock().expect("node lock").remove(item)
+        let mut node = self.shared.node.lock().expect("node lock");
+        let shard = node.shard_of(item);
+        let removed = node.remove(item);
+        if removed {
+            self.shared.bump_shard(shard);
+        }
+        removed
     }
 
     /// True once a shutdown has been requested (via [`Self::shutdown`] or
@@ -472,8 +537,10 @@ fn serve_peer<S: Symbol + Ord>(
     }
 }
 
-/// Serves the next batch of a stream: a cache-range read under the node
-/// lock, wire-encoded, written as one payload frame.
+/// Serves the next batch of a stream: a precomputed wire batch when the
+/// shard is unchanged since it was encoded, otherwise a cache-range read
+/// under the node lock; either way written as one payload frame with a
+/// single vectored write.
 fn serve_batch<S: Symbol + Ord>(
     stream: &mut TcpStream,
     shared: &SharedState<S>,
@@ -489,19 +556,44 @@ fn serve_batch<S: Symbol + Ord>(
     let (_session, shard) = key;
 
     let t0 = Instant::now();
-    let payload = {
-        let mut node = shared.node.lock().expect("node lock");
-        let set_size = node.shard_len(shard) as u64;
-        let codec = SymbolCodec::with_alpha(config.symbol_len, set_size, riblt::DEFAULT_ALPHA);
-        let cells = node.shard_cells(shard, next, config.batch_symbols);
-        codec.encode_batch(cells, next as u64)
+    // Every peer reads the same universal prefix of a shard's coded-symbol
+    // sequence, so the encoded bytes of `[next, next + batch)` can be reused
+    // across sessions and connections until the shard mutates.
+    let gen = shared.shard_gen(shard);
+    let cached = shared
+        .wire_cache
+        .lock()
+        .expect("wire cache lock")
+        .get(shard, next, gen);
+    let payload = match cached {
+        Some(bytes) => bytes,
+        None => {
+            let (gen_now, encoded) = {
+                let mut node = shared.node.lock().expect("node lock");
+                // Re-read under the node lock: mutators bump while holding
+                // it, so this generation matches the encoded snapshot.
+                let gen_now = shared.shard_gen(shard);
+                let set_size = node.shard_len(shard) as u64;
+                let codec =
+                    SymbolCodec::with_alpha(config.symbol_len, set_size, riblt::DEFAULT_ALPHA);
+                let cells = node.shard_cells(shard, next, config.batch_symbols);
+                (gen_now, codec.encode_batch(cells, next as u64))
+            };
+            shared.wire_cache.lock().expect("wire cache lock").insert(
+                shard,
+                next,
+                gen_now,
+                encoded.clone(),
+            );
+            encoded
+        }
     };
     acct.serve_cpu_s += t0.elapsed().as_secs_f64();
     offsets.insert(key, next + config.batch_symbols);
 
     let reply = MuxFrame::new(key.0, key.1, EngineMessage::Payload(payload));
     acct.bytes_out += (LENGTH_PREFIX_BYTES + reply.wire_size()) as u64;
-    write_mux_frame(stream, &reply)
+    write_frame_vectored(stream, &reply.to_bytes()).map_err(EngineError::from)
 }
 
 #[cfg(test)]

@@ -1,0 +1,191 @@
+//! Pins the decoder's observable behavior across the hot-path refactor.
+//!
+//! The allocation-free peeling rewrite (cached peel states, clone-free
+//! recover, pre-reserved buffers) must not change *what* the decoder
+//! computes — only how fast. These tests capture the pre-refactor behavior
+//! on pinned seeds: the exact number of coded symbols each scenario needs
+//! before `is_decoded()` flips, and the exact remote/local split. Any drift
+//! in these numbers means the refactor changed decoding semantics, not just
+//! its constant factors.
+
+use std::collections::BTreeSet;
+
+use rateless_reconciliation::riblt::{
+    Decoder, Encoder, FixedBytes, IrregularDecoder, IrregularEncoder, Sketch,
+};
+use rateless_reconciliation::riblt_hash::SplitMix64;
+
+type Item8 = FixedBytes<8>;
+type Item32 = FixedBytes<32>;
+
+/// Draws `len` distinct values in `1..bound` from the pinned stream.
+fn draw_set(gen: &mut SplitMix64, bound: u64, len: usize) -> BTreeSet<u64> {
+    let mut out = BTreeSet::new();
+    while out.len() < len {
+        out.insert(1 + gen.next_u64() % (bound - 1));
+    }
+    out
+}
+
+fn item32(v: u64) -> Item32 {
+    let mut bytes = [0u8; 32];
+    let mut gen = SplitMix64::new(v | 1);
+    gen.fill_bytes(&mut bytes);
+    FixedBytes(bytes)
+}
+
+/// Runs one regular-decoder scenario to completion; returns the number of
+/// coded symbols consumed plus the recovered remote/local value sets.
+fn run_streaming8(seed: u64, n_a: usize, n_b: usize) -> (usize, BTreeSet<u64>, BTreeSet<u64>) {
+    let mut gen = SplitMix64::new(seed);
+    let a = draw_set(&mut gen, 1 << 40, n_a);
+    let b = draw_set(&mut gen, 1 << 40, n_b);
+
+    let mut enc = Encoder::<Item8>::new();
+    for &v in &a {
+        enc.add_symbol(Item8::from_u64(v)).unwrap();
+    }
+    let mut dec = Decoder::<Item8>::new();
+    for &v in &b {
+        dec.add_symbol(Item8::from_u64(v)).unwrap();
+    }
+    let mut used = 0usize;
+    while !dec.is_decoded() {
+        dec.add_coded_symbol(enc.produce_next_coded_symbol());
+        used += 1;
+        assert!(used < 100_000, "seed {seed:#x}: failed to converge");
+    }
+    let diff = dec.into_difference();
+    let remote: BTreeSet<u64> = diff.remote_only.iter().map(|s| s.to_u64()).collect();
+    let local: BTreeSet<u64> = diff.local_only.iter().map(|s| s.to_u64()).collect();
+
+    // Cross-check against ground truth before pinning anything.
+    let expected_remote: BTreeSet<u64> = a.difference(&b).copied().collect();
+    let expected_local: BTreeSet<u64> = b.difference(&a).copied().collect();
+    assert_eq!(remote, expected_remote, "seed {seed:#x}: remote side");
+    assert_eq!(local, expected_local, "seed {seed:#x}: local side");
+    (used, remote, local)
+}
+
+/// The streaming decoder consumes exactly the pre-refactor number of coded
+/// symbols on pinned seeds (8-byte items, varied overlap shapes).
+#[test]
+fn streaming_decoder_used_counts_are_pinned() {
+    // (seed, |A|, |B|) -> coded symbols consumed, captured before the
+    // hot-path refactor. d ranges from 5 to ~600 across the cases.
+    let cases: [(u64, usize, usize, usize); 6] = [
+        (0xa11c_e001, 300, 300, 828),
+        (0xa11c_e002, 500, 480, 1_319),
+        (0xa11c_e003, 50, 45, 136),
+        (0xa11c_e004, 1, 4, 9),
+        (0xa11c_e005, 0, 64, 94),
+        (0xa11c_e006, 1_000, 1_000, 2_672),
+    ];
+    for (seed, n_a, n_b, pinned_used) in cases {
+        let (used, _, _) = run_streaming8(seed, n_a, n_b);
+        assert_eq!(
+            used, pinned_used,
+            "seed {seed:#x} (|A|={n_a}, |B|={n_b}): used-symbol count drifted"
+        );
+    }
+}
+
+/// 32-byte items through the batch API: identical sets and used counts.
+#[test]
+fn batch_decoder_is_pinned_for_32_byte_items() {
+    let mut gen = SplitMix64::new(0xb47c_9000);
+    let a = draw_set(&mut gen, 1 << 40, 400);
+    let b = draw_set(&mut gen, 1 << 40, 380);
+
+    let mut enc = Encoder::<Item32>::new();
+    for &v in &a {
+        enc.add_symbol(item32(v)).unwrap();
+    }
+    let mut dec = Decoder::<Item32>::new();
+    for &v in &b {
+        dec.add_symbol(item32(v)).unwrap();
+    }
+    let mut used_total = 0usize;
+    while !dec.is_decoded() {
+        let batch = enc.produce_coded_symbols(32);
+        used_total += dec.add_coded_symbols(batch);
+        assert!(used_total < 100_000, "failed to converge");
+    }
+    // Captured pre-refactor: the batch path stops inside the final batch.
+    assert_eq!(used_total, 1_064, "batch used-symbol count drifted");
+
+    let diff = dec.into_difference();
+    let remote: BTreeSet<Item32> = a.difference(&b).map(|&v| item32(v)).collect();
+    let local: BTreeSet<Item32> = b.difference(&a).map(|&v| item32(v)).collect();
+    assert_eq!(
+        diff.remote_only.iter().copied().collect::<BTreeSet<_>>(),
+        remote
+    );
+    assert_eq!(
+        diff.local_only.iter().copied().collect::<BTreeSet<_>>(),
+        local
+    );
+}
+
+/// Sketch::decode (the fixed-size path) recovers the same split and stays
+/// byte-stable on a pinned seed.
+#[test]
+fn sketch_decode_is_pinned() {
+    let mut gen = SplitMix64::new(0x5ce7_c400);
+    let a = draw_set(&mut gen, 1 << 40, 250);
+    let b = draw_set(&mut gen, 1 << 40, 260);
+    let d = a.symmetric_difference(&b).count();
+
+    let m = 2 * d + 8;
+    let sa = Sketch::<Item8>::from_set(
+        m,
+        a.iter()
+            .map(|&v| Item8::from_u64(v))
+            .collect::<Vec<_>>()
+            .iter(),
+    );
+    let sb = Sketch::<Item8>::from_set(
+        m,
+        b.iter()
+            .map(|&v| Item8::from_u64(v))
+            .collect::<Vec<_>>()
+            .iter(),
+    );
+    let diff = sa.subtracted(&sb).unwrap().decode().unwrap();
+
+    let remote: BTreeSet<u64> = diff.remote_only.iter().map(|s| s.to_u64()).collect();
+    let local: BTreeSet<u64> = diff.local_only.iter().map(|s| s.to_u64()).collect();
+    assert_eq!(remote, a.difference(&b).copied().collect::<BTreeSet<_>>());
+    assert_eq!(local, b.difference(&a).copied().collect::<BTreeSet<_>>());
+}
+
+/// The irregular decoder (per-class alphas) consumes the pre-refactor
+/// number of coded symbols and recovers the identical split.
+#[test]
+fn irregular_decoder_used_count_is_pinned() {
+    let mut gen = SplitMix64::new(0x1e8_0a77);
+    let a = draw_set(&mut gen, 1 << 40, 350);
+    let b = draw_set(&mut gen, 1 << 40, 340);
+
+    let mut enc = IrregularEncoder::<Item8>::new();
+    for &v in &a {
+        enc.add_symbol(Item8::from_u64(v)).unwrap();
+    }
+    let mut dec = IrregularDecoder::<Item8>::new();
+    for &v in &b {
+        dec.add_symbol(Item8::from_u64(v)).unwrap();
+    }
+    let mut used = 0usize;
+    while !dec.is_decoded() {
+        dec.add_coded_symbol(enc.produce_next_coded_symbol());
+        used += 1;
+        assert!(used < 100_000, "failed to converge");
+    }
+    assert_eq!(used, 777, "irregular used-symbol count drifted");
+
+    let diff = dec.into_difference();
+    let remote: BTreeSet<u64> = diff.remote_only.iter().map(|s| s.to_u64()).collect();
+    let local: BTreeSet<u64> = diff.local_only.iter().map(|s| s.to_u64()).collect();
+    assert_eq!(remote, a.difference(&b).copied().collect::<BTreeSet<_>>());
+    assert_eq!(local, b.difference(&a).copied().collect::<BTreeSet<_>>());
+}

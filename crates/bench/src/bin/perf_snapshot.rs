@@ -21,12 +21,16 @@
 //! - `mux_sharded_decode/32B` — two cluster nodes reconciling over the
 //!   simulated mux protocol; reports the measured decode/serve wall time.
 //! - `daemon_stream/32B` — a real TCP round against an in-process daemon,
-//!   client and server on loopback.
+//!   client and server on loopback. This bench also captures the daemon's
+//!   live `obs` registry: its headline series (serve-batch latency
+//!   quantiles, wire-cache hits/misses) fold into the record's metrics, and
+//!   the full registry JSON lands in the snapshot's `daemon_metrics` block.
 
 use cluster::{reconcile_pair, Node, NodeConfig, PairSyncConfig};
 use netsim::{LinkConfig, Topology};
 use reconcile_core::backends::RibltBackend;
 use riblt::{Decoder, Encoder, Sketch};
+use riblt_bench::json::{self, JsonValue};
 use riblt_bench::snapshot::{today_utc, validate, BenchRecord, Snapshot};
 use riblt_bench::{items32, set_pair32, timed, Item32, Item8, RunScale};
 use riblt_hash::splitmix64;
@@ -76,7 +80,8 @@ fn main() {
     benches.extend(bench_decode(scale, seed));
     benches.push(bench_sketch_subtract(scale, seed));
     benches.push(bench_mux_sharded(scale, seed));
-    benches.push(bench_daemon_stream(scale, seed));
+    let (daemon_record, daemon_metrics) = bench_daemon_stream(scale, seed);
+    benches.push(daemon_record);
 
     let snapshot = Snapshot {
         generated: today_utc(),
@@ -85,6 +90,7 @@ fn main() {
             RunScale::Full => "full".into(),
         },
         seed,
+        daemon_metrics,
         benches,
     };
     let text = snapshot.to_json();
@@ -331,7 +337,33 @@ fn bench_mux_sharded(scale: RunScale, seed: u64) -> BenchRecord {
         .metric("rounds", outcome.rounds as f64)
 }
 
-fn bench_daemon_stream(scale: RunScale, seed: u64) -> BenchRecord {
+/// Pulls one numeric field out of a registry-JSON dump, matching the series
+/// by name and (when given) one label pair — e.g. the `result="hit"` leg of
+/// the wire-cache counter.
+fn series_field(
+    doc: &JsonValue,
+    name: &str,
+    label: Option<(&str, &str)>,
+    field: &str,
+) -> Option<f64> {
+    let series = doc.get("series")?.as_array()?;
+    series
+        .iter()
+        .find(|entry| {
+            entry.get("name").and_then(JsonValue::as_str) == Some(name)
+                && label.is_none_or(|(k, v)| {
+                    entry
+                        .get("labels")
+                        .and_then(|labels| labels.get(k))
+                        .and_then(JsonValue::as_str)
+                        == Some(v)
+                })
+        })
+        .and_then(|entry| entry.get(field))
+        .and_then(JsonValue::as_number)
+}
+
+fn bench_daemon_stream(scale: RunScale, seed: u64) -> (BenchRecord, Option<String>) {
     let n = scale.pick(20_000u64, 100_000u64);
     let d = scale.pick(1_000u64, 5_000u64);
 
@@ -372,9 +404,10 @@ fn bench_daemon_stream(scale: RunScale, seed: u64) -> BenchRecord {
         "daemon stream recovered the difference"
     );
     let stats = daemon.stats();
+    let metrics_json = daemon.metrics_json();
     daemon.shutdown();
 
-    BenchRecord::new("daemon_stream/32B")
+    let mut record = BenchRecord::new("daemon_stream/32B")
         .param("symbol_bytes", 32.0)
         .param("set_size", n as f64)
         .param("difference", d as f64)
@@ -382,5 +415,33 @@ fn bench_daemon_stream(scale: RunScale, seed: u64) -> BenchRecord {
         .metric("wall_s", secs)
         .metric("diffs_per_s", d as f64 / secs)
         .metric("server_bytes_out", stats.bytes_out as f64)
-        .metric("server_serve_cpu_s", stats.serve_cpu_s)
+        .metric("server_serve_cpu_s", stats.serve_cpu_s);
+
+    // Fold the headline series from the live registry into the record so
+    // the trajectory files track serving latency and cache efficiency, not
+    // just throughput.
+    let doc = json::parse(&metrics_json).expect("daemon metrics JSON parses");
+    let histogram = "reconciled_serve_batch_seconds";
+    let cache = "reconciled_wire_cache_lookups_total";
+    for (metric, name, label, field) in [
+        ("serve_batch_p50_s", histogram, None, "p50"),
+        ("serve_batch_p99_s", histogram, None, "p99"),
+        ("wire_cache_hits", cache, Some(("result", "hit")), "value"),
+        (
+            "wire_cache_misses",
+            cache,
+            Some(("result", "miss")),
+            "value",
+        ),
+    ] {
+        if let Some(value) = series_field(&doc, name, label, field) {
+            record = record.metric(metric, value);
+        }
+    }
+
+    let has_series = doc
+        .get("series")
+        .and_then(JsonValue::as_array)
+        .is_some_and(|series| !series.is_empty());
+    (record, has_series.then_some(metrics_json))
 }

@@ -27,6 +27,14 @@
 //! `wall_s`; and every family in [`REQUIRED_BENCHES`] appears at least
 //! once. Adding new benches or metrics is allowed; renaming or dropping a
 //! required family is a schema regression.
+//!
+//! Snapshots may additionally carry an optional `daemon_metrics` object —
+//! the live daemon's `obs` registry dump (`{"series": [...]}`) captured
+//! during the `daemon_stream` bench. When the key is present it must hold a
+//! non-empty `series` array whose entries each carry a string `name` and a
+//! `type` of `counter`, `gauge`, or `histogram`, with the matching numeric
+//! fields (`value` for counters/gauges; `count` and `sum` for histograms).
+//! Older snapshots without the key stay valid.
 
 use crate::json::{self, JsonValue};
 use std::fmt::Write as _;
@@ -89,6 +97,9 @@ pub struct Snapshot {
     pub mode: String,
     /// User seed the pinned-seed benches were XORed with (0 = default).
     pub seed: u64,
+    /// Compact registry JSON (`{"series": [...]}`) captured from the live
+    /// daemon during `daemon_stream`, if the bench produced one.
+    pub daemon_metrics: Option<String>,
     /// The bench results.
     pub benches: Vec<BenchRecord>,
 }
@@ -102,6 +113,9 @@ impl Snapshot {
         let _ = writeln!(out, "  \"generated\": {},", json::quote(&self.generated));
         let _ = writeln!(out, "  \"mode\": {},", json::quote(&self.mode));
         let _ = writeln!(out, "  \"seed\": {},", self.seed);
+        if let Some(metrics) = &self.daemon_metrics {
+            let _ = writeln!(out, "  \"daemon_metrics\": {},", metrics.trim());
+        }
         out.push_str("  \"benches\": [\n");
         for (i, bench) in self.benches.iter().enumerate() {
             out.push_str("    {\n");
@@ -171,6 +185,10 @@ pub fn validate(text: &str) -> Result<(), String> {
         .and_then(JsonValue::as_number)
         .ok_or("missing numeric `seed`")?;
 
+    if let Some(metrics) = doc.get("daemon_metrics") {
+        check_daemon_metrics(metrics)?;
+    }
+
     let benches = doc
         .get("benches")
         .and_then(JsonValue::as_array)
@@ -207,6 +225,46 @@ pub fn validate(text: &str) -> Result<(), String> {
                 .is_some_and(|rest| rest.is_empty() || rest.starts_with('/'))
         }) {
             return Err(format!("required bench family {family:?} is missing"));
+        }
+    }
+    Ok(())
+}
+
+/// Checks the optional `daemon_metrics` block: a non-empty `series` array
+/// of named counter/gauge/histogram entries with the numeric fields their
+/// type implies.
+fn check_daemon_metrics(metrics: &JsonValue) -> Result<(), String> {
+    let series = metrics
+        .get("series")
+        .and_then(JsonValue::as_array)
+        .ok_or("`daemon_metrics` is missing its `series` array")?;
+    if series.is_empty() {
+        return Err("`daemon_metrics.series` is empty".into());
+    }
+    for (i, entry) in series.iter().enumerate() {
+        let name = entry
+            .get("name")
+            .and_then(JsonValue::as_str)
+            .ok_or(format!("daemon_metrics.series[{i}] missing string `name`"))?;
+        let kind = entry
+            .get("type")
+            .and_then(JsonValue::as_str)
+            .ok_or(format!("daemon_metrics series {name:?} missing `type`"))?;
+        let required: &[&str] = match kind {
+            "counter" | "gauge" => &["value"],
+            "histogram" => &["count", "sum"],
+            other => {
+                return Err(format!(
+                    "daemon_metrics series {name:?} has unknown type {other:?}"
+                ))
+            }
+        };
+        for field in required {
+            if entry.get(field).and_then(JsonValue::as_number).is_none() {
+                return Err(format!(
+                    "daemon_metrics {kind} {name:?} is missing numeric `{field}`"
+                ));
+            }
         }
     }
     Ok(())
@@ -280,6 +338,7 @@ mod tests {
             generated: "2026-08-07".into(),
             mode: "quick".into(),
             seed: 0,
+            daemon_metrics: None,
             benches,
         }
     }
@@ -352,6 +411,53 @@ mod tests {
             "\"schema_version\": 99",
         );
         assert!(validate(&text).unwrap_err().contains("schema_version"));
+    }
+
+    #[test]
+    fn daemon_metrics_block_round_trips() {
+        let mut snap = sample();
+        snap.daemon_metrics = Some(
+            concat!(
+                "{\"series\":[",
+                "{\"name\":\"reconciled_sessions_opened_total\",\"type\":\"counter\",\"value\":8},",
+                "{\"name\":\"reconciled_items\",\"type\":\"gauge\",\"value\":20000},",
+                "{\"name\":\"reconciled_session_symbols\",\"type\":\"histogram\",",
+                "\"count\":8,\"sum\":4096,\"max\":700,\"mean\":512,\"p50\":500,\"p90\":650,\"p99\":690}",
+                "]}"
+            )
+            .to_string(),
+        );
+        let text = snap.to_json();
+        validate(&text).unwrap();
+        let doc = json::parse(&text).unwrap();
+        let series = doc
+            .get("daemon_metrics")
+            .and_then(|m| m.get("series"))
+            .and_then(JsonValue::as_array)
+            .unwrap();
+        assert_eq!(series.len(), 3);
+    }
+
+    #[test]
+    fn malformed_daemon_metrics_is_rejected() {
+        let mut snap = sample();
+        snap.daemon_metrics = Some("{\"series\":[]}".into());
+        let err = validate(&snap.to_json()).unwrap_err();
+        assert!(err.contains("empty"), "{err}");
+
+        snap.daemon_metrics = Some("{\"series\":[{\"name\":\"x\",\"type\":\"counter\"}]}".into());
+        let err = validate(&snap.to_json()).unwrap_err();
+        assert!(err.contains("value"), "{err}");
+
+        snap.daemon_metrics =
+            Some("{\"series\":[{\"name\":\"x\",\"type\":\"summary\",\"value\":1}]}".into());
+        let err = validate(&snap.to_json()).unwrap_err();
+        assert!(err.contains("unknown type"), "{err}");
+
+        snap.daemon_metrics =
+            Some("{\"series\":[{\"name\":\"h\",\"type\":\"histogram\",\"count\":1}]}".into());
+        let err = validate(&snap.to_json()).unwrap_err();
+        assert!(err.contains("sum"), "{err}");
     }
 
     #[test]

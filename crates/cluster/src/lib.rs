@@ -59,3 +59,4 @@ pub mod pool;
 pub use gossip::{Cluster, ClusterConfig, ConvergenceReport, NodeStats, RoundReport};
 pub use node::{set_digest, Node, NodeConfig};
 pub use pairsync::{reconcile_pair, PairOutcome, PairSyncConfig};
+pub use pool::{default_threads, parallel_for_each, parallel_for_each_observed};

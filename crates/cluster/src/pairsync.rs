@@ -27,7 +27,41 @@ use riblt::wire::SymbolCodec;
 use riblt::{CodedSymbol, Decoder, SetDifference, Symbol};
 
 use crate::node::Node;
-use crate::pool::{default_threads, parallel_for_each};
+use crate::pool::{default_threads, parallel_for_each_observed};
+
+/// Handles into [`obs::global`] for the pair-sync phases. Registration is
+/// idempotent, so fetching them once per exchange costs one short registry
+/// lock, and the phase loops below touch only the returned atomics.
+struct PhaseMetrics {
+    serve_rounds: std::sync::Arc<obs::Histogram>,
+    decode_rounds: std::sync::Arc<obs::Histogram>,
+    decode_shards: std::sync::Arc<obs::Histogram>,
+    units: std::sync::Arc<obs::Counter>,
+}
+
+impl PhaseMetrics {
+    fn from_global() -> PhaseMetrics {
+        let g = obs::global();
+        PhaseMetrics {
+            serve_rounds: g.histogram_seconds(
+                "cluster_serve_round_seconds",
+                "Responder wall time encoding one round of per-shard cache ranges.",
+            ),
+            decode_rounds: g.histogram_seconds(
+                "cluster_decode_round_seconds",
+                "Initiator wall time absorbing one round across all shards (includes the worker-pool fan-out).",
+            ),
+            decode_shards: g.histogram_seconds(
+                "cluster_decode_shard_seconds",
+                "Decode-worker latency for one shard within a round (subtract plus peel).",
+            ),
+            units: g.counter(
+                "cluster_pair_units_total",
+                "Coded symbols consumed by pairwise exchanges.",
+            ),
+        }
+    }
+}
 
 /// Magic bytes opening every shard session of a cluster exchange.
 const OPEN_MAGIC: [u8; 4] = *b"CLS0";
@@ -166,6 +200,7 @@ where
     // Decoding reads set_size from each payload's header; the field on the
     // client codec is irrelevant.
     let client_codec = SymbolCodec::with_alpha(symbol_len, 0, alpha);
+    let metrics = PhaseMetrics::from_global();
 
     let bytes_before = topology.total_bytes();
     let mut client_clock = start;
@@ -224,7 +259,9 @@ where
             let frame = MuxFrame::new(session, state.shard, EngineMessage::Payload(payload));
             payload_frames.push((idx, frame.to_bytes()));
         }
-        let serve_s = t_serve.elapsed().as_secs_f64();
+        let serve_elapsed = t_serve.elapsed();
+        metrics.serve_rounds.observe_duration(serve_elapsed);
+        let serve_s = serve_elapsed.as_secs_f64();
         serve_wall_s += serve_s;
         server_clock += serve_s;
 
@@ -251,7 +288,7 @@ where
                 .shard_cells(state.shard, state.received, config.batch_symbols)
                 .to_vec();
         }
-        parallel_for_each(&mut active, threads, |state| {
+        parallel_for_each_observed(&mut active, threads, &metrics.decode_shards, |state| {
             let batch = match client_codec.decode_batch::<S>(&state.payload) {
                 Ok(batch) => batch,
                 Err(e) => {
@@ -276,7 +313,9 @@ where
                 state.result = Some(decoder.into_difference());
             }
         });
-        let decode_s = t_decode.elapsed().as_secs_f64();
+        let decode_elapsed = t_decode.elapsed();
+        metrics.decode_rounds.observe_duration(decode_elapsed);
+        let decode_s = decode_elapsed.as_secs_f64();
         decode_wall_s += decode_s;
         client_clock = client_clock.max(last_arrival) + decode_s;
 
@@ -334,6 +373,7 @@ where
         }
     }
 
+    metrics.units.add(units as u64);
     let outcome = PairOutcome {
         rounds,
         units,

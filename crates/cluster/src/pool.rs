@@ -5,6 +5,8 @@
 //! them over up to `threads` OS threads. Shard decodes are independent by
 //! construction, which is exactly the shape this covers.
 
+use std::sync::Arc;
+
 /// Applies `f` to every element of `work`, using up to `threads` scoped
 /// worker threads. With `threads <= 1` (or a single item) it runs inline,
 /// so callers can treat the parallel and serial paths identically.
@@ -28,6 +30,26 @@ where
                 }
             });
         }
+    });
+}
+
+/// Like [`parallel_for_each`], but times each item into `latency`
+/// (nanoseconds, suiting a seconds-scaled histogram series). The clock
+/// reads happen on the workers, so instrumentation adds two `Instant`
+/// calls per item — nothing on the fan-out/join path.
+pub fn parallel_for_each_observed<T, F>(
+    work: &mut [T],
+    threads: usize,
+    latency: &Arc<obs::Histogram>,
+    f: F,
+) where
+    T: Send,
+    F: Fn(&mut T) + Sync,
+{
+    parallel_for_each(work, threads, |item| {
+        let span = obs::SpanTimer::start(latency);
+        f(item);
+        span.stop();
     });
 }
 

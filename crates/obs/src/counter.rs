@@ -1,0 +1,165 @@
+//! The scalar instruments: monotone [`Counter`]s and up/down [`Gauge`]s.
+//!
+//! Both are single relaxed atomics: an uncontended update is one
+//! `lock xadd` (a few nanoseconds), and contended updates never block —
+//! there is no ordering requirement between metric updates and the data
+//! they describe, so `Relaxed` is sufficient everywhere.
+
+#[cfg(feature = "enabled")]
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// A monotonically increasing counter (events, bytes, items served).
+///
+/// Disabled builds (`--no-default-features`) compile every method to a
+/// no-op and [`Counter::get`] to a constant 0.
+#[derive(Debug, Default)]
+pub struct Counter {
+    #[cfg(feature = "enabled")]
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Increments by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increments by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        #[cfg(feature = "enabled")]
+        self.value.fetch_add(n, Ordering::Relaxed);
+        #[cfg(not(feature = "enabled"))]
+        let _ = n;
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        #[cfg(feature = "enabled")]
+        return self.value.load(Ordering::Relaxed);
+        #[cfg(not(feature = "enabled"))]
+        0
+    }
+}
+
+/// A value that can move both ways (live connections, set size).
+///
+/// Disabled builds compile every method to a no-op and [`Gauge::get`] to a
+/// constant 0.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    #[cfg(feature = "enabled")]
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Sets the gauge to `v`.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        #[cfg(feature = "enabled")]
+        self.value.store(v, Ordering::Relaxed);
+        #[cfg(not(feature = "enabled"))]
+        let _ = v;
+    }
+
+    /// Adds `n` (which may be negative).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        #[cfg(feature = "enabled")]
+        self.value.fetch_add(n, Ordering::Relaxed);
+        #[cfg(not(feature = "enabled"))]
+        let _ = n;
+    }
+
+    /// Increments by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Decrements by one.
+    #[inline]
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        #[cfg(feature = "enabled")]
+        return self.value.load(Ordering::Relaxed);
+        #[cfg(not(feature = "enabled"))]
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[cfg(feature = "enabled")]
+    fn counter_counts() {
+        let c = Counter::new();
+        assert_eq!(c.get(), 0);
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    #[cfg(feature = "enabled")]
+    fn gauge_moves_both_ways() {
+        let g = Gauge::new();
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 1);
+        g.set(-7);
+        assert_eq!(g.get(), -7);
+        g.add(10);
+        assert_eq!(g.get(), 3);
+    }
+
+    #[test]
+    #[cfg(feature = "enabled")]
+    fn counter_is_safe_under_concurrent_increments() {
+        let c = std::sync::Arc::new(Counter::new());
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let c = std::sync::Arc::clone(&c);
+                scope.spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 80_000);
+    }
+
+    #[test]
+    #[cfg(not(feature = "enabled"))]
+    fn disabled_instruments_are_inert() {
+        let c = Counter::new();
+        c.add(100);
+        assert_eq!(c.get(), 0);
+        let g = Gauge::new();
+        g.set(5);
+        assert_eq!(g.get(), 0);
+        assert_eq!(std::mem::size_of::<Counter>(), 0);
+        assert_eq!(std::mem::size_of::<Gauge>(), 0);
+    }
+}

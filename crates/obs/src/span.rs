@@ -1,0 +1,89 @@
+//! RAII span timers: time a scope into a [`Histogram`].
+//!
+//! ```
+//! use std::sync::Arc;
+//! let hist = Arc::new(obs::Histogram::new());
+//! {
+//!     let _span = obs::SpanTimer::start(&hist);
+//!     // ... the timed work ...
+//! } // drop records the elapsed nanoseconds
+//! # let _ = hist.count();
+//! ```
+
+use std::sync::Arc;
+#[cfg(feature = "enabled")]
+use std::time::Instant;
+
+use crate::Histogram;
+
+/// Times from construction to drop (or [`SpanTimer::stop`]) and records
+/// the elapsed **nanoseconds** into its histogram — pair the series with an
+/// exposition scale of `1e-9` so it renders in seconds.
+///
+/// Disabled builds neither read the clock nor record.
+#[derive(Debug)]
+pub struct SpanTimer {
+    #[cfg(feature = "enabled")]
+    hist: Arc<Histogram>,
+    #[cfg(feature = "enabled")]
+    start: Instant,
+}
+
+impl SpanTimer {
+    /// Starts timing into `hist`.
+    #[inline]
+    pub fn start(hist: &Arc<Histogram>) -> SpanTimer {
+        #[cfg(not(feature = "enabled"))]
+        let _ = hist;
+        SpanTimer {
+            #[cfg(feature = "enabled")]
+            hist: Arc::clone(hist),
+            #[cfg(feature = "enabled")]
+            start: Instant::now(),
+        }
+    }
+
+    /// Ends the span now (equivalent to dropping it, but explicit at call
+    /// sites where the scope end is not the measurement end).
+    #[inline]
+    pub fn stop(self) {}
+}
+
+impl Drop for SpanTimer {
+    #[inline]
+    fn drop(&mut self) {
+        #[cfg(feature = "enabled")]
+        self.hist.observe_duration(self.start.elapsed());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[cfg(feature = "enabled")]
+    fn span_records_once_on_drop() {
+        let hist = Arc::new(Histogram::new());
+        {
+            let _span = SpanTimer::start(&hist);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        assert_eq!(hist.count(), 1);
+        assert!(
+            hist.max() >= 1_000_000,
+            "at least 1ms in ns: {}",
+            hist.max()
+        );
+        SpanTimer::start(&hist).stop();
+        assert_eq!(hist.count(), 2);
+    }
+
+    #[test]
+    #[cfg(not(feature = "enabled"))]
+    fn disabled_span_records_nothing() {
+        let hist = Arc::new(Histogram::new());
+        SpanTimer::start(&hist).stop();
+        assert_eq!(hist.count(), 0);
+    }
+}

@@ -57,7 +57,7 @@ pub use framing::{
     write_mux_frame, LENGTH_PREFIX_BYTES, MAX_FRAME_BYTES,
 };
 pub use handshake::{client_handshake, key_fingerprint, server_handshake, Hello, PROTOCOL_VERSION};
-pub use mux::{ClientMux, MuxFrame, ServerMux, MUX_HEADER_BYTES};
+pub use mux::{ClientMux, MuxFrame, MuxMetrics, ServerMux, MUX_HEADER_BYTES};
 pub use shard::{SessionId, ShardId, ShardPartitioner};
 
 /// Re-export of the difference type every backend emits.

@@ -18,6 +18,7 @@
 //!   parallel on a `std::thread` worker pool.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use riblt::SetDifference;
 
@@ -25,6 +26,21 @@ use crate::backend::ReconcileBackend;
 use crate::engine::{ClientEngine, EngineMessage, ServerEngine};
 use crate::error::{EngineError, Result};
 use crate::shard::{SessionId, ShardId};
+
+/// Observation handles a [`ClientMux`] records into while absorbing
+/// payloads. The handles are plain `obs` instruments — attach ones
+/// registered in whatever registry should expose them (see
+/// [`ClientMux::set_metrics`]); an unattached mux records nothing.
+#[derive(Debug, Clone, Default)]
+pub struct MuxMetrics {
+    /// Payload frames absorbed.
+    pub payloads: Arc<obs::Counter>,
+    /// Scheme units consumed per absorbed payload (decode progress per
+    /// round-trip).
+    pub payload_units: Arc<obs::Histogram>,
+    /// Payload frame sizes in bytes.
+    pub payload_bytes: Arc<obs::Histogram>,
+}
 
 /// Bytes of mux header prepended to every engine-message frame.
 pub const MUX_HEADER_BYTES: usize = 6;
@@ -170,6 +186,7 @@ struct ShardClient<B: ReconcileBackend> {
 pub struct ClientMux<B: ReconcileBackend> {
     session: SessionId,
     shards: Vec<Option<ShardClient<B>>>,
+    metrics: Option<MuxMetrics>,
 }
 
 impl<B: ReconcileBackend> std::fmt::Debug for ShardClient<B> {
@@ -186,12 +203,19 @@ impl<B: ReconcileBackend> ClientMux<B> {
         ClientMux {
             session,
             shards: Vec::new(),
+            metrics: None,
         }
     }
 
     /// The session id every emitted frame carries.
     pub fn session(&self) -> SessionId {
         self.session
+    }
+
+    /// Attaches observation handles; every subsequently absorbed payload
+    /// records its size and decode progress into them.
+    pub fn set_metrics(&mut self, metrics: MuxMetrics) {
+        self.metrics = Some(metrics);
     }
 
     /// Registers the client endpoint for `shard` (built over the local items
@@ -261,6 +285,17 @@ impl<B: ReconcileBackend> ClientMux<B> {
         }
     }
 
+    /// Records one absorbed payload into the attached metrics (if any).
+    fn observe(metrics: Option<&MuxMetrics>, frame: &MuxFrame, units_delta: usize) {
+        if let Some(m) = metrics {
+            m.payloads.inc();
+            m.payload_units.observe(units_delta as u64);
+            if let EngineMessage::Payload(bytes) = &frame.message {
+                m.payload_bytes.observe(bytes.len() as u64);
+            }
+        }
+    }
+
     /// Handles one payload frame, returning the client's next frame for that
     /// shard (`Request`, `Continue`, or `Done`).
     pub fn handle(&mut self, frame: &MuxFrame) -> Result<MuxFrame> {
@@ -272,7 +307,9 @@ impl<B: ReconcileBackend> ClientMux<B> {
             .get_mut(usize::from(frame.shard))
             .and_then(Option::as_mut)
             .ok_or(EngineError::Protocol("frame for unknown shard"))?;
+        let before = sc.engine.units();
         let reply = sc.engine.handle(&frame.message)?;
+        Self::observe(self.metrics.as_ref(), frame, sc.engine.units() - before);
         Ok(Self::reply_frame(self.session, frame.shard, sc, reply))
     }
 
@@ -314,15 +351,21 @@ impl<B: ReconcileBackend> ClientMux<B> {
         }
 
         let chunk = work.len().div_ceil(threads);
+        // Clone the handles once so workers can record without touching
+        // `self` (whose shard slots they already borrow exclusively).
+        let metrics = self.metrics.clone();
         let mut results: Vec<Result<MuxFrame>> = Vec::with_capacity(work.len());
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for batch in work.chunks_mut(chunk) {
+                let metrics = metrics.as_ref();
                 handles.push(scope.spawn(move || {
                     batch
                         .iter_mut()
                         .map(|(shard, sc, frame)| {
+                            let before = sc.engine.units();
                             let reply = sc.engine.handle(&frame.message)?;
+                            Self::observe(metrics, frame, sc.engine.units() - before);
                             Ok(Self::reply_frame(session, *shard, sc, reply))
                         })
                         .collect::<Vec<Result<MuxFrame>>>()

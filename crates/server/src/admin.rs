@@ -1,11 +1,15 @@
 //! The line-oriented admin/metrics socket of the `reconciled` daemon.
 //!
-//! One TCP connection, one UTF-8 command per line, one reply line per
-//! command (so the protocol is usable from `nc` as well as from code):
+//! One TCP connection, one UTF-8 command per line. Most commands answer
+//! with one reply line (so the protocol is usable from `nc` as well as
+//! from code); `METRICS` and `TRACE` answer with a block of lines
+//! terminated by a `# EOF` marker line:
 //!
 //! | Command | Reply | Effect |
 //! |---|---|---|
-//! | `STATS` | `OK count=… shards=… digest=… …` | metrics snapshot |
+//! | `STATS` | `OK count=… shards=… digest=… …` | one-line counter snapshot |
+//! | `METRICS` | Prometheus text exposition, then `# EOF` | full metric scrape |
+//! | `TRACE [n]` | newest `n` (default 20) events, then `# EOF` | lifecycle event ring |
 //! | `ADD <hex>` | `OK added=0\|1` | insert an item (patches its shard cache) |
 //! | `REMOVE <hex>` | `OK removed=0\|1` | remove an item |
 //! | `QUIT` | `BYE` | close this admin connection |
@@ -20,10 +24,14 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::atomic::Ordering;
 
+use obs::lock_unpoisoned;
 use riblt::Symbol;
 
 use crate::daemon::SharedState;
 use crate::{item_from_hex, item_to_hex};
+
+/// Marker line terminating every multi-line admin reply.
+pub const MULTILINE_END: &str = "# EOF";
 
 /// Serves one admin connection until `QUIT`, `SHUTDOWN`, EOF, or timeout.
 pub(crate) fn handle_admin_connection<S: Symbol + Ord>(
@@ -48,6 +56,16 @@ pub(crate) fn handle_admin_connection<S: Symbol + Ord>(
         };
         let reply = match execute(line.trim(), shared) {
             Reply::Line(text) => text,
+            Reply::Multi(block) => {
+                // Always newline-terminated, then the end marker so clients
+                // can read a block of unknown length line by line.
+                let mut block = block;
+                if !block.is_empty() && !block.ends_with('\n') {
+                    block.push('\n');
+                }
+                block.push_str(MULTILINE_END);
+                block
+            }
             Reply::Close(text) => {
                 let _ = writeln!(writer, "{text}");
                 return;
@@ -61,6 +79,8 @@ pub(crate) fn handle_admin_connection<S: Symbol + Ord>(
 
 enum Reply {
     Line(String),
+    /// A multi-line body; the connection handler appends [`MULTILINE_END`].
+    Multi(String),
     Close(String),
 }
 
@@ -71,15 +91,41 @@ fn execute<S: Symbol + Ord>(line: &str, shared: &SharedState<S>) -> Reply {
     };
     match command.to_ascii_uppercase().as_str() {
         "STATS" => Reply::Line(stats_line(shared)),
+        "METRICS" => Reply::Multi(shared.render_metrics()),
+        "TRACE" => {
+            let n = if argument.is_empty() {
+                Ok(20)
+            } else {
+                argument.parse::<usize>()
+            };
+            match n {
+                Ok(n) => {
+                    let mut block = String::new();
+                    for event in shared.metrics.events.last(n) {
+                        block.push_str(&event.render());
+                        block.push('\n');
+                    }
+                    Reply::Multi(block)
+                }
+                Err(_) => Reply::Line(format!("ERR bad trace count {argument:?}")),
+            }
+        }
         "ADD" => match item_from_hex::<S>(argument, shared.config.symbol_len) {
             Some(item) => {
-                let mut node = shared.node.lock().expect("node lock");
+                let mut node = lock_unpoisoned(&shared.node);
                 let shard = node.shard_of(&item);
                 let added = node.insert(item);
                 if added {
                     shared.bump_shard(shard);
                 }
                 drop(node);
+                if added {
+                    shared.metrics.inserts.inc();
+                    shared
+                        .metrics
+                        .events
+                        .record("admin_add", format!("shard={shard}"));
+                }
                 Reply::Line(format!("OK added={}", usize::from(added)))
             }
             None => Reply::Line(format!(
@@ -89,13 +135,20 @@ fn execute<S: Symbol + Ord>(line: &str, shared: &SharedState<S>) -> Reply {
         },
         "REMOVE" => match item_from_hex::<S>(argument, shared.config.symbol_len) {
             Some(item) => {
-                let mut node = shared.node.lock().expect("node lock");
+                let mut node = lock_unpoisoned(&shared.node);
                 let shard = node.shard_of(&item);
                 let removed = node.remove(&item);
                 if removed {
                     shared.bump_shard(shard);
                 }
                 drop(node);
+                if removed {
+                    shared.metrics.removes.inc();
+                    shared
+                        .metrics
+                        .events
+                        .record("admin_remove", format!("shard={shard}"));
+                }
                 Reply::Line(format!("OK removed={}", usize::from(removed)))
             }
             None => Reply::Line(format!(
@@ -115,16 +168,23 @@ fn execute<S: Symbol + Ord>(line: &str, shared: &SharedState<S>) -> Reply {
 
 fn stats_line<S: Symbol + Ord>(shared: &SharedState<S>) -> String {
     let (count, digest) = {
-        let node = shared.node.lock().expect("node lock");
+        let node = lock_unpoisoned(&shared.node);
         (node.len(), node.digest())
     };
-    let stats = *shared.stats.lock().expect("stats lock");
+    let stats = shared.stats_snapshot();
+    // Sum of per-shard mutation generations: how many times cached wire
+    // batches have been invalidated since start.
+    let cache_gen: u64 = (0..shared.config.shards)
+        .map(|shard| shared.shard_gen(shard))
+        .sum();
     format!(
         "OK count={count} shards={} digest={digest:016x} \
          connections_active={} connections_accepted={} \
          sessions_opened={} sessions_completed={} \
          bytes_in={} bytes_out={} serve_cpu_ms={:.1} \
-         handshake_failures={} connection_errors={} uptime_ms={}",
+         handshake_failures={} connection_errors={} uptime_ms={} \
+         wire_cache_hits={} wire_cache_misses={} cache_gen={cache_gen} \
+         symbols_served={}",
         shared.config.shards,
         shared.active.load(Ordering::SeqCst),
         stats.connections_accepted,
@@ -136,6 +196,9 @@ fn stats_line<S: Symbol + Ord>(shared: &SharedState<S>) -> String {
         stats.handshake_failures,
         stats.connection_errors,
         shared.started.elapsed().as_millis(),
+        shared.metrics.wire_cache_hits.get(),
+        shared.metrics.wire_cache_misses.get(),
+        shared.metrics.symbols_served.get(),
     )
 }
 
@@ -171,6 +234,38 @@ impl AdminClient {
             ));
         }
         Ok(reply.trim_end().to_string())
+    }
+
+    /// Sends one command and reads a multi-line reply up to (excluding)
+    /// the `# EOF` marker.
+    pub fn send_multiline(&mut self, command: &str) -> std::io::Result<String> {
+        writeln!(self.writer, "{command}")?;
+        self.writer.flush()?;
+        let mut block = String::new();
+        loop {
+            let mut line = String::new();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "admin connection closed mid-block",
+                ));
+            }
+            if line.trim_end() == MULTILINE_END {
+                return Ok(block);
+            }
+            block.push_str(&line);
+        }
+    }
+
+    /// Scrapes the daemon's metrics in Prometheus text exposition format.
+    pub fn metrics(&mut self) -> std::io::Result<String> {
+        self.send_multiline("METRICS")
+    }
+
+    /// Fetches the newest `n` lifecycle events, oldest first.
+    pub fn trace(&mut self, n: usize) -> std::io::Result<Vec<String>> {
+        let block = self.send_multiline(&format!("TRACE {n}"))?;
+        Ok(block.lines().map(str::to_string).collect())
     }
 
     /// Sends `ADD <hex(item)>`; true if the daemon inserted it.

@@ -49,6 +49,7 @@ use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use cluster::{Node, NodeConfig};
+use obs::{lock_unpoisoned, SpanTimer};
 use reconcile_core::backends::RIBLT_STREAM_MAGIC;
 use reconcile_core::framing::{read_frame_or_eof, LENGTH_PREFIX_BYTES};
 use reconcile_core::handshake::{server_handshake, Hello, HELLO_BYTES};
@@ -61,6 +62,7 @@ use riblt::Symbol;
 use riblt_hash::SipKey;
 
 use crate::admin;
+use crate::metrics::DaemonMetrics;
 
 /// Static configuration of a [`Daemon`].
 #[derive(Debug, Clone)]
@@ -144,7 +146,7 @@ pub(crate) struct ConnAccounting {
 pub(crate) struct SharedState<S: Symbol + Ord> {
     pub(crate) config: DaemonConfig,
     pub(crate) node: Mutex<Node<S>>,
-    pub(crate) stats: Mutex<DaemonStats>,
+    pub(crate) metrics: DaemonMetrics,
     pub(crate) stop: AtomicBool,
     pub(crate) active: AtomicUsize,
     pub(crate) started: Instant,
@@ -161,7 +163,53 @@ pub(crate) struct SharedState<S: Symbol + Ord> {
 
 impl<S: Symbol + Ord> SharedState<S> {
     pub(crate) fn request_shutdown(&self) {
-        self.stop.store(true, Ordering::SeqCst);
+        if !self.stop.swap(true, Ordering::SeqCst) {
+            self.metrics.events.record("shutdown", "requested");
+        }
+    }
+
+    /// Snapshot of the aggregate counters, reconstructed from the metric
+    /// series (plus the live-connection atomic, which also drives draining).
+    pub(crate) fn stats_snapshot(&self) -> DaemonStats {
+        let m = &self.metrics;
+        DaemonStats {
+            connections_accepted: m.connections_accepted.get() as usize,
+            connections_active: self.active.load(Ordering::SeqCst),
+            sessions_opened: m.sessions_opened.get() as usize,
+            sessions_completed: m.sessions_completed.get() as usize,
+            bytes_in: m.bytes_in.get(),
+            bytes_out: m.bytes_out.get(),
+            serve_cpu_s: m.serve_cpu_nanos.get() as f64 * 1e-9,
+            handshake_failures: m.handshake_failures.get() as usize,
+            connection_errors: m.connection_errors.get() as usize,
+        }
+    }
+
+    /// Refreshes the point-in-time gauges (set size, live connections,
+    /// uptime) and renders the full registry. The gauges are only written
+    /// here — render time — so the serving path never pays for them.
+    pub(crate) fn render_metrics(&self) -> String {
+        let m = &self.metrics;
+        m.items.set(lock_unpoisoned(&self.node).len() as i64);
+        m.shards.set(i64::from(self.config.shards));
+        m.connections_active
+            .set(self.active.load(Ordering::SeqCst) as i64);
+        m.uptime_seconds
+            .set(self.started.elapsed().as_secs() as i64);
+        m.registry.render_prometheus()
+    }
+
+    /// Like [`Self::render_metrics`] but as the registry's compact JSON
+    /// (for benchmark snapshots).
+    pub(crate) fn render_metrics_json(&self) -> String {
+        let m = &self.metrics;
+        m.items.set(lock_unpoisoned(&self.node).len() as i64);
+        m.shards.set(i64::from(self.config.shards));
+        m.connections_active
+            .set(self.active.load(Ordering::SeqCst) as i64);
+        m.uptime_seconds
+            .set(self.started.elapsed().as_secs() as i64);
+        m.registry.render_json()
     }
 
     /// Invalidates cached wire batches of `shard`. Called with the node
@@ -257,7 +305,7 @@ impl<S: Symbol + Ord + Send + 'static> Daemon<S> {
         let shared = Arc::new(SharedState {
             config,
             node: Mutex::new(node),
-            stats: Mutex::new(DaemonStats::default()),
+            metrics: DaemonMetrics::new(),
             stop: AtomicBool::new(false),
             active: AtomicUsize::new(0),
             started: Instant::now(),
@@ -290,14 +338,24 @@ impl<S: Symbol + Ord + Send + 'static> Daemon<S> {
 
     /// Snapshot of the aggregate counters.
     pub fn stats(&self) -> DaemonStats {
-        let mut stats = *self.shared.stats.lock().expect("stats lock");
-        stats.connections_active = self.shared.active.load(Ordering::SeqCst);
-        stats
+        self.shared.stats_snapshot()
+    }
+
+    /// The full metric surface in Prometheus text exposition format (what
+    /// the admin `METRICS` command serves).
+    pub fn metrics_text(&self) -> String {
+        self.shared.render_metrics()
+    }
+
+    /// The full metric surface as compact JSON, for embedding in benchmark
+    /// snapshots.
+    pub fn metrics_json(&self) -> String {
+        self.shared.render_metrics_json()
     }
 
     /// Number of items currently in the set.
     pub fn len(&self) -> usize {
-        self.shared.node.lock().expect("node lock").len()
+        lock_unpoisoned(&self.shared.node).len()
     }
 
     /// True if the set is empty.
@@ -307,28 +365,30 @@ impl<S: Symbol + Ord + Send + 'static> Daemon<S> {
 
     /// Order-independent digest of the set (see [`cluster::set_digest`]).
     pub fn digest(&self) -> u64 {
-        self.shared.node.lock().expect("node lock").digest()
+        lock_unpoisoned(&self.shared.node).digest()
     }
 
     /// Adds an item (patching O(log m) cells of its shard's cache).
     /// Returns false if it was already present.
     pub fn insert(&self, item: S) -> bool {
-        let mut node = self.shared.node.lock().expect("node lock");
+        let mut node = lock_unpoisoned(&self.shared.node);
         let shard = node.shard_of(&item);
         let added = node.insert(item);
         if added {
             self.shared.bump_shard(shard);
+            self.shared.metrics.inserts.inc();
         }
         added
     }
 
     /// Removes an item. Returns false if it was absent.
     pub fn remove(&self, item: &S) -> bool {
-        let mut node = self.shared.node.lock().expect("node lock");
+        let mut node = lock_unpoisoned(&self.shared.node);
         let shard = node.shard_of(item);
         let removed = node.remove(item);
         if removed {
             self.shared.bump_shard(shard);
+            self.shared.metrics.removes.inc();
         }
         removed
     }
@@ -381,11 +441,11 @@ fn accept_loop<S: Symbol + Ord + Send + 'static>(
         match data_listener.accept() {
             Ok((stream, peer)) => {
                 progress = true;
+                shared.metrics.connections_accepted.inc();
                 shared
-                    .stats
-                    .lock()
-                    .expect("stats lock")
-                    .connections_accepted += 1;
+                    .metrics
+                    .events
+                    .record("conn_accept", format!("peer={peer}"));
                 shared.active.fetch_add(1, Ordering::SeqCst);
                 let conn_shared = Arc::clone(&shared);
                 let spawned = thread::Builder::new()
@@ -407,6 +467,11 @@ fn accept_loop<S: Symbol + Ord + Send + 'static>(
         match admin_listener.accept() {
             Ok((stream, peer)) => {
                 progress = true;
+                shared.metrics.admin_connections.inc();
+                shared
+                    .metrics
+                    .events
+                    .record("admin_accept", format!("peer={peer}"));
                 shared.active.fetch_add(1, Ordering::SeqCst);
                 let conn_shared = Arc::clone(&shared);
                 let spawned = thread::Builder::new()
@@ -441,26 +506,40 @@ fn handle_data_connection<S: Symbol + Ord>(
 
     let mut acct = ConnAccounting::default();
     let started = Instant::now();
+    let lifetime = SpanTimer::start(&shared.metrics.connection_seconds);
     let result = serve_peer(&mut stream, shared, &mut acct);
+    lifetime.stop();
 
-    let mut stats = shared.stats.lock().expect("stats lock");
-    stats.bytes_in += acct.bytes_in;
-    stats.bytes_out += acct.bytes_out;
-    stats.serve_cpu_s += acct.serve_cpu_s;
-    stats.sessions_opened += acct.sessions_opened;
-    stats.sessions_completed += acct.sessions_completed;
     match &result {
         Ok(()) => {}
-        Err(EngineError::Handshake(_)) => stats.handshake_failures += 1,
-        Err(_) => stats.connection_errors += 1,
+        Err(EngineError::Handshake(reason)) => {
+            shared.metrics.handshake_failures.inc();
+            shared
+                .metrics
+                .events
+                .record("handshake_fail", format!("peer={peer} reason={reason}"));
+        }
+        Err(e) => {
+            shared.metrics.connection_errors.inc();
+            shared
+                .metrics
+                .events
+                .record("conn_error", format!("peer={peer} error={e}"));
+        }
     }
-    drop(stats);
 
     let elapsed_ms = started.elapsed().as_millis();
     let outcome = match result {
         Ok(()) => "closed".to_string(),
         Err(e) => format!("dropped: {e}"),
     };
+    shared.metrics.events.record(
+        "conn_close",
+        format!(
+            "peer={peer} in={}B out={}B sessions={}/{}",
+            acct.bytes_in, acct.bytes_out, acct.sessions_completed, acct.sessions_opened
+        ),
+    );
     eprintln!(
         "reconciled: peer {peer} {outcome} \
          (in={}B out={}B serve_cpu={:.1}ms sessions={}/{} lifetime={elapsed_ms}ms)",
@@ -482,9 +561,20 @@ fn serve_peer<S: Symbol + Ord>(
 ) -> reconcile_core::Result<()> {
     let config = &shared.config;
     let local_hello = Hello::new(config.key, config.shards, config.symbol_len);
-    server_handshake(stream, &local_hello)?;
+    let handshake_span = SpanTimer::start(&shared.metrics.handshake_seconds);
+    let handshake = server_handshake(stream, &local_hello);
+    handshake_span.stop();
+    handshake?;
     acct.bytes_in += (LENGTH_PREFIX_BYTES + HELLO_BYTES) as u64;
     acct.bytes_out += (LENGTH_PREFIX_BYTES + HELLO_BYTES) as u64;
+    shared
+        .metrics
+        .bytes_in
+        .add((LENGTH_PREFIX_BYTES + HELLO_BYTES) as u64);
+    shared
+        .metrics
+        .bytes_out
+        .add((LENGTH_PREFIX_BYTES + HELLO_BYTES) as u64);
 
     // All per-connection protocol state: the next cache offset per stream.
     let mut offsets: HashMap<(SessionId, ShardId), usize> = HashMap::new();
@@ -503,6 +593,10 @@ fn serve_peer<S: Symbol + Ord>(
         };
         let frame = MuxFrame::from_bytes(&bytes)?;
         acct.bytes_in += (LENGTH_PREFIX_BYTES + frame.wire_size()) as u64;
+        shared
+            .metrics
+            .bytes_in
+            .add((LENGTH_PREFIX_BYTES + frame.wire_size()) as u64);
         let key = (frame.session, frame.shard);
         match frame.message {
             EngineMessage::Open(ref request) => {
@@ -514,6 +608,7 @@ fn serve_peer<S: Symbol + Ord>(
                     return Err(EngineError::Protocol("duplicate open for session/shard"));
                 }
                 acct.sessions_opened += 1;
+                shared.metrics.sessions_opened.inc();
                 serve_batch(stream, shared, &mut offsets, key, acct)?;
             }
             EngineMessage::Continue => {
@@ -524,8 +619,14 @@ fn serve_peer<S: Symbol + Ord>(
             }
             EngineMessage::Done => {
                 // Duplicate Dones are harmless (mirrors ServerMux).
-                if offsets.remove(&key).is_some() {
+                if let Some(served) = offsets.remove(&key) {
                     acct.sessions_completed += 1;
+                    shared.metrics.sessions_completed.inc();
+                    shared.metrics.session_symbols.observe(served as u64);
+                    shared.metrics.events.record(
+                        "session_done",
+                        format!("session={} shard={} symbols={served}", key.0, key.1),
+                    );
                 }
             }
             EngineMessage::Payload(_) | EngineMessage::Request(_) => {
@@ -555,21 +656,22 @@ fn serve_batch<S: Symbol + Ord>(
     }
     let (_session, shard) = key;
 
+    let batch_span = SpanTimer::start(&shared.metrics.serve_batch_seconds);
     let t0 = Instant::now();
     // Every peer reads the same universal prefix of a shard's coded-symbol
     // sequence, so the encoded bytes of `[next, next + batch)` can be reused
     // across sessions and connections until the shard mutates.
     let gen = shared.shard_gen(shard);
-    let cached = shared
-        .wire_cache
-        .lock()
-        .expect("wire cache lock")
-        .get(shard, next, gen);
+    let cached = lock_unpoisoned(&shared.wire_cache).get(shard, next, gen);
     let payload = match cached {
-        Some(bytes) => bytes,
+        Some(bytes) => {
+            shared.metrics.wire_cache_hits.inc();
+            bytes
+        }
         None => {
+            shared.metrics.wire_cache_misses.inc();
             let (gen_now, encoded) = {
-                let mut node = shared.node.lock().expect("node lock");
+                let mut node = lock_unpoisoned(&shared.node);
                 // Re-read under the node lock: mutators bump while holding
                 // it, so this generation matches the encoded snapshot.
                 let gen_now = shared.shard_gen(shard);
@@ -579,21 +681,32 @@ fn serve_batch<S: Symbol + Ord>(
                 let cells = node.shard_cells(shard, next, config.batch_symbols);
                 (gen_now, codec.encode_batch(cells, next as u64))
             };
-            shared.wire_cache.lock().expect("wire cache lock").insert(
-                shard,
-                next,
-                gen_now,
-                encoded.clone(),
-            );
+            lock_unpoisoned(&shared.wire_cache).insert(shard, next, gen_now, encoded.clone());
             encoded
         }
     };
-    acct.serve_cpu_s += t0.elapsed().as_secs_f64();
+    let serve_cpu = t0.elapsed();
+    acct.serve_cpu_s += serve_cpu.as_secs_f64();
+    shared
+        .metrics
+        .serve_cpu_nanos
+        .add(serve_cpu.as_nanos().min(u64::MAX as u128) as u64);
+    shared.metrics.payload_bytes.observe(payload.len() as u64);
+    shared
+        .metrics
+        .symbols_served
+        .add(config.batch_symbols as u64);
     offsets.insert(key, next + config.batch_symbols);
 
     let reply = MuxFrame::new(key.0, key.1, EngineMessage::Payload(payload));
     acct.bytes_out += (LENGTH_PREFIX_BYTES + reply.wire_size()) as u64;
-    write_frame_vectored(stream, &reply.to_bytes()).map_err(EngineError::from)
+    shared
+        .metrics
+        .bytes_out
+        .add((LENGTH_PREFIX_BYTES + reply.wire_size()) as u64);
+    let written = write_frame_vectored(stream, &reply.to_bytes()).map_err(EngineError::from);
+    batch_span.stop();
+    written
 }
 
 #[cfg(test)]
@@ -727,6 +840,38 @@ mod tests {
         .unwrap_err();
         // The client observes the drop as a transport error mid-stream.
         assert!(matches!(err, EngineError::Io(_, _)), "{err}");
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn node_lock_poison_does_not_take_down_the_daemon() {
+        let daemon = Daemon::spawn(test_config(), items(0..100)).unwrap();
+        // A thread panicking while holding the node lock poisons it; every
+        // accessor recovers via `lock_unpoisoned` instead of propagating.
+        let shared = Arc::clone(&daemon.shared);
+        let result = thread::Builder::new()
+            .name("poisoner".into())
+            .spawn(move || {
+                let _guard = shared.node.lock().unwrap();
+                panic!("deliberate panic while holding the node lock");
+            })
+            .unwrap()
+            .join();
+        assert!(result.is_err(), "the poisoner must have panicked");
+
+        assert_eq!(daemon.len(), 100);
+        assert!(daemon.insert(Item::from_u64(9_999)));
+        assert_eq!(daemon.len(), 101);
+        let digest = daemon.digest();
+
+        // A full reconciliation round still works on the poisoned lock.
+        let (diffs, _) = sync_against(&daemon, &items(0..100));
+        let remote: Vec<u64> = diffs
+            .iter()
+            .flat_map(|d| d.remote_only.iter().map(|i| i.to_u64()))
+            .collect();
+        assert_eq!(remote, vec![9_999]);
+        assert_eq!(daemon.digest(), digest);
         daemon.shutdown();
     }
 }

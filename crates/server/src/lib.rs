@@ -16,9 +16,12 @@
 //! * enforces read/write timeouts on every connection (a silent peer can
 //!   never wedge a serving thread), keeps per-connection byte/CPU
 //!   accounting, and shuts down gracefully;
-//! * exposes a line-oriented admin/metrics socket (`STATS`, `ADD <hex>`,
-//!   `REMOVE <hex>`, `QUIT`, `SHUTDOWN`) so operators and tests can mutate
-//!   and observe the set while peers are syncing.
+//! * exposes a line-oriented admin/metrics socket (`STATS`, `METRICS`,
+//!   `TRACE`, `ADD <hex>`, `REMOVE <hex>`, `QUIT`, `SHUTDOWN`) so operators
+//!   and tests can mutate and observe the set while peers are syncing —
+//!   `METRICS` serves the daemon's full [`obs`]-backed metric surface in
+//!   Prometheus text exposition format, `TRACE` the recent lifecycle
+//!   events.
 //!
 //! The binaries `reconciled` (the daemon) and `reconcile-client` (drives
 //! [`statesync::sync_sharded_tcp`] against it, optionally pushing its
@@ -32,9 +35,11 @@
 pub mod admin;
 pub mod cli;
 pub mod daemon;
+pub mod metrics;
 
-pub use admin::{admin_request, AdminClient};
+pub use admin::{admin_request, AdminClient, MULTILINE_END};
 pub use daemon::{Daemon, DaemonConfig, DaemonStats};
+pub use metrics::DaemonMetrics;
 
 use riblt::Symbol;
 

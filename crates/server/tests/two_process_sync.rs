@@ -166,6 +166,43 @@ fn two_processes_converge_over_localhost() {
         opened.to_string()
     );
 
+    // The observability surface is live across the process boundary:
+    // `METRICS` returns a valid Prometheus exposition whose session
+    // histograms saw the eight per-shard streams, and `TRACE` replays the
+    // lifecycle.
+    let mut admin = server::AdminClient::connect(daemon.admin_addr.as_str()).unwrap();
+    let metrics = admin.metrics().unwrap();
+    let summary = obs::validate_prometheus(&metrics)
+        .unwrap_or_else(|e| panic!("invalid exposition: {e}\n{metrics}"));
+    assert!(summary.series >= 15, "only {} series", summary.series);
+    assert!(
+        summary.histograms >= 3,
+        "only {} histograms",
+        summary.histograms
+    );
+    assert_eq!(
+        obs::sample_value(&metrics, "reconciled_session_symbols_count", &[]),
+        Some(f64::from(SHARDS))
+    );
+    assert!(
+        obs::sample_value(&metrics, "reconciled_session_symbols_sum", &[]).unwrap() > 0.0,
+        "session histogram recorded no symbols"
+    );
+    assert!(
+        obs::sample_value(&metrics, "reconciled_mutations_total", &[("op", "insert")]).unwrap()
+            >= 250.0,
+        "the pushed items count as inserts"
+    );
+    // The client's 250 pushed items arrive as admin ADDs, which by now
+    // dominate the bounded event ring (evicting the earlier session
+    // events — `session_done` coverage lives in the in-process tests).
+    let trace = admin.trace(100).unwrap();
+    assert!(
+        trace.iter().any(|l| l.contains("admin_add")),
+        "no admin_add in {trace:#?}"
+    );
+    drop(admin);
+
     // Graceful shutdown via the admin socket: the process exits cleanly.
     assert_eq!(
         admin_request(&daemon.admin_addr, "SHUTDOWN").unwrap(),

@@ -34,6 +34,28 @@ use reconcile_core::{
 use riblt::Symbol;
 use riblt_hash::SipKey;
 
+/// [`reconcile_core::MuxMetrics`] registered in the process-wide
+/// [`obs::global`] registry under `statesync_mux_*` names: every TCP sync
+/// in the process records its absorbed payloads (count, bytes, decode
+/// progress per round-trip) there.
+fn mux_metrics() -> reconcile_core::MuxMetrics {
+    let g = obs::global();
+    reconcile_core::MuxMetrics {
+        payloads: g.counter(
+            "statesync_mux_payloads_total",
+            "Payload frames absorbed by TCP sync clients.",
+        ),
+        payload_units: g.histogram(
+            "statesync_mux_payload_units",
+            "Scheme units consumed per absorbed payload frame.",
+        ),
+        payload_bytes: g.histogram(
+            "statesync_mux_payload_bytes",
+            "Payload frame sizes absorbed by TCP sync clients, in bytes.",
+        ),
+    }
+}
+
 /// Configuration of a TCP (or any real-stream) sharded synchronization.
 #[derive(Debug, Clone, Copy)]
 pub struct TcpSyncConfig {
@@ -129,6 +151,7 @@ where
     let partitioner = ShardPartitioner::new(config.key, shards);
     let parts = partitioner.partition(local_items);
     let mut client = ClientMux::new(config.session);
+    client.set_metrics(mux_metrics());
     for (shard, part) in parts.iter().enumerate() {
         client.insert_shard(
             shard as ShardId,

@@ -25,6 +25,11 @@
 //!   live `obs` registry: its headline series (serve-batch latency
 //!   quantiles, wire-cache hits/misses) fold into the record's metrics, and
 //!   the full registry JSON lands in the snapshot's `daemon_metrics` block.
+//! - `daemon_scale/8B` — peers-vs-throughput: one reactor daemon serving a
+//!   concurrent mixed-staleness fleet via the `loadgen` harness (128 peers
+//!   quick, 1,024 full), reporting syncs/s, client-side sync p99, and the
+//!   registry's serve-batch p99. The full sweep lives in
+//!   `fig_daemon_scale`.
 
 use cluster::{reconcile_pair, Node, NodeConfig, PairSyncConfig};
 use netsim::{LinkConfig, Topology};
@@ -33,7 +38,8 @@ use riblt::{Decoder, Encoder, Sketch};
 use riblt_bench::json::{self, JsonValue};
 use riblt_bench::snapshot::{today_utc, validate, BenchRecord, Snapshot};
 use riblt_bench::{items32, set_pair32, timed, Item32, Item8, RunScale};
-use riblt_hash::splitmix64;
+use riblt_hash::{splitmix64, SipKey};
+use server::loadgen::{raise_nofile_limit, run as loadgen_run, server_items, LoadgenConfig};
 use server::{Daemon, DaemonConfig};
 use statesync::{sync_sharded_tcp, TcpSyncConfig};
 use std::net::TcpStream;
@@ -82,6 +88,7 @@ fn main() {
     benches.push(bench_mux_sharded(scale, seed));
     let (daemon_record, daemon_metrics) = bench_daemon_stream(scale, seed);
     benches.push(daemon_record);
+    benches.push(bench_daemon_scale(scale, seed));
 
     let snapshot = Snapshot {
         generated: today_utc(),
@@ -444,4 +451,61 @@ fn bench_daemon_stream(scale: RunScale, seed: u64) -> (BenchRecord, Option<Strin
         .and_then(JsonValue::as_array)
         .is_some_and(|series| !series.is_empty());
     (record, has_series.then_some(metrics_json))
+}
+
+fn bench_daemon_scale(scale: RunScale, seed: u64) -> BenchRecord {
+    let peers = scale.pick(128usize, 1_024usize);
+    let base_items = scale.pick(1_024u64, 4_096u64);
+    let staleness = vec![0u64, 8, 64, 256];
+    let key = SipKey::new(derive(seed, 0x5ca1e), derive(seed, 0xf1ee7));
+
+    let want_fds = (peers as u64) * 2 + 512;
+    let got_fds = raise_nofile_limit(want_fds);
+    if got_fds < want_fds {
+        eprintln!("# daemon_scale: fd limit {got_fds} < {want_fds} wanted");
+    }
+
+    let daemon = Daemon::spawn(
+        DaemonConfig {
+            shards: 8,
+            key,
+            read_timeout: Duration::from_secs(60),
+            write_timeout: Duration::from_secs(60),
+            ..Default::default()
+        },
+        server_items(base_items),
+    )
+    .expect("daemon spawn");
+
+    let config = LoadgenConfig {
+        clients: peers,
+        rounds: 1,
+        base_items,
+        staleness,
+        key,
+        read_timeout: Duration::from_secs(60),
+        ..Default::default()
+    };
+    let report = loadgen_run(&daemon.data_addr().to_string(), &config);
+    assert_eq!(
+        report.syncs_failed, 0,
+        "daemon_scale fleet had failed syncs ({}/{} ok)",
+        report.syncs_ok, peers
+    );
+
+    let serve = daemon.metrics().serve_batch_seconds.snapshot();
+    let pauses = daemon.metrics().backpressure_pauses.get();
+    daemon.shutdown();
+
+    BenchRecord::new("daemon_scale/8B")
+        .param("peers", peers as f64)
+        .param("rounds", 1.0)
+        .param("base_items", base_items as f64)
+        .param("shards", 8.0)
+        .metric("wall_s", report.wall.as_secs_f64())
+        .metric("syncs_per_s", report.syncs_per_sec())
+        .metric("sync_p50_s", report.latency_quantile(0.50))
+        .metric("sync_p99_s", report.latency_quantile(0.99))
+        .metric("serve_batch_p99_s", serve.p99() / 1e9)
+        .metric("backpressure_pauses", pauses as f64)
 }

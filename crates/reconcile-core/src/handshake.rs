@@ -100,7 +100,8 @@ impl RejectReason {
         })
     }
 
-    fn describe(self) -> &'static str {
+    /// Human-readable description, used in reject frames and error strings.
+    pub fn describe(self) -> &'static str {
         match self {
             RejectReason::Malformed => "malformed hello",
             RejectReason::VersionMismatch => "protocol version mismatch",
@@ -174,6 +175,16 @@ impl Hello {
             symbol_len: u16::from_le_bytes([bytes[16], bytes[17]]),
         })
     }
+}
+
+/// Encodes a reject frame's payload (magic, reason code, UTF-8 detail).
+///
+/// Exposed for transports that manage their own frame I/O — the
+/// event-driven daemon appends this to a nonblocking write buffer instead
+/// of calling [`server_handshake`]'s blocking writes — so every server
+/// emits byte-identical rejections for the same reason.
+pub fn reject_frame_bytes(reason: RejectReason) -> Vec<u8> {
+    encode_reject(reason)
 }
 
 fn encode_reject(reason: RejectReason) -> Vec<u8> {

@@ -54,7 +54,7 @@ pub use engine::{run_in_memory, ClientEngine, EngineMessage, RunReport, ServerEn
 pub use error::{EngineError, Result};
 pub use framing::{
     read_frame, read_frame_or_eof, read_mux_frame, write_frame, write_frame_vectored,
-    write_mux_frame, LENGTH_PREFIX_BYTES, MAX_FRAME_BYTES,
+    write_mux_frame, FrameBuffer, LENGTH_PREFIX_BYTES, MAX_FRAME_BYTES,
 };
 pub use handshake::{client_handshake, key_fingerprint, server_handshake, Hello, PROTOCOL_VERSION};
 pub use mux::{ClientMux, MuxFrame, MuxMetrics, ServerMux, MUX_HEADER_BYTES};

@@ -54,37 +54,41 @@ pub(crate) fn handle_admin_connection<S: Symbol + Ord>(
             Ok(line) => line,
             Err(_) => break, // disconnect or timeout
         };
-        let reply = match execute(line.trim(), shared) {
-            Reply::Line(text) => text,
-            Reply::Multi(block) => {
-                // Always newline-terminated, then the end marker so clients
-                // can read a block of unknown length line by line.
-                let mut block = block;
-                if !block.is_empty() && !block.ends_with('\n') {
-                    block.push('\n');
-                }
-                block.push_str(MULTILINE_END);
-                block
-            }
-            Reply::Close(text) => {
-                let _ = writeln!(writer, "{text}");
-                return;
-            }
-        };
-        if writeln!(writer, "{reply}").is_err() {
-            break;
+        let (rendered, close) = render_reply(execute(line.trim(), shared));
+        if writer.write_all(rendered.as_bytes()).is_err() || close {
+            return;
         }
     }
 }
 
-enum Reply {
+pub(crate) enum Reply {
     Line(String),
-    /// A multi-line body; the connection handler appends [`MULTILINE_END`].
+    /// A multi-line body; [`render_reply`] appends [`MULTILINE_END`].
     Multi(String),
     Close(String),
 }
 
-fn execute<S: Symbol + Ord>(line: &str, shared: &SharedState<S>) -> Reply {
+/// Renders a [`Reply`] into the exact bytes written on the wire, plus
+/// whether the connection closes after them. Shared by the blocking and
+/// event-driven admin paths so both emit byte-identical replies.
+pub(crate) fn render_reply(reply: Reply) -> (String, bool) {
+    match reply {
+        Reply::Line(text) => (format!("{text}\n"), false),
+        Reply::Multi(mut block) => {
+            // Always newline-terminated, then the end marker so clients can
+            // read a block of unknown length line by line.
+            if !block.is_empty() && !block.ends_with('\n') {
+                block.push('\n');
+            }
+            block.push_str(MULTILINE_END);
+            block.push('\n');
+            (block, false)
+        }
+        Reply::Close(text) => (format!("{text}\n"), true),
+    }
+}
+
+pub(crate) fn execute<S: Symbol + Ord>(line: &str, shared: &SharedState<S>) -> Reply {
     let (command, argument) = match line.split_once(' ') {
         Some((cmd, arg)) => (cmd, arg.trim()),
         None => (line, ""),

@@ -62,7 +62,23 @@ use riblt::Symbol;
 use riblt_hash::SipKey;
 
 use crate::admin;
+use crate::event;
 use crate::metrics::DaemonMetrics;
+
+/// How the daemon multiplexes connections onto OS threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServeModel {
+    /// A small pool of reactor threads over nonblocking sockets (epoll on
+    /// Linux, `poll(2)` elsewhere): thousands of concurrent peers per
+    /// process, bounded per-connection buffers, explicit backpressure. The
+    /// default.
+    #[default]
+    Reactor,
+    /// One blocking OS thread per connection — the original architecture,
+    /// kept for A/B benchmarking and as the wire-equivalence reference
+    /// (both models must emit byte-identical streams).
+    ThreadPerConnection,
+}
 
 /// Static configuration of a [`Daemon`].
 #[derive(Debug, Clone)]
@@ -90,6 +106,18 @@ pub struct DaemonConfig {
     /// symbols than this are dropped (bounds cache growth against wedged or
     /// mis-keyed peers that can never finish decoding).
     pub max_units_per_session: usize,
+    /// Connection threading model (see [`ServeModel`]).
+    pub model: ServeModel,
+    /// Reactor worker threads (0 = auto: the core count, capped at 4).
+    /// Ignored under [`ServeModel::ThreadPerConnection`].
+    pub reactor_workers: usize,
+    /// Per-connection outbound buffer high-water mark in bytes. A
+    /// connection whose unsent replies cross this stops having its requests
+    /// processed (and, above it, read) until the peer drains — the
+    /// backpressure that keeps one slow peer from holding batch payloads
+    /// for everyone. Ignored under [`ServeModel::ThreadPerConnection`]
+    /// (there the blocking write *is* the backpressure).
+    pub max_write_buffer: usize,
 }
 
 impl Default for DaemonConfig {
@@ -104,6 +132,9 @@ impl Default for DaemonConfig {
             read_timeout: Duration::from_secs(10),
             write_timeout: Duration::from_secs(10),
             max_units_per_session: 1 << 20,
+            model: ServeModel::default(),
+            reactor_workers: 0,
+            max_write_buffer: 1 << 20,
         }
     }
 }
@@ -136,11 +167,11 @@ pub struct DaemonStats {
 /// Per-connection accounting, folded into [`DaemonStats`] on disconnect.
 #[derive(Debug, Default, Clone, Copy)]
 pub(crate) struct ConnAccounting {
-    bytes_in: u64,
-    bytes_out: u64,
-    serve_cpu_s: f64,
-    sessions_opened: usize,
-    sessions_completed: usize,
+    pub(crate) bytes_in: u64,
+    pub(crate) bytes_out: u64,
+    pub(crate) serve_cpu_s: f64,
+    pub(crate) sessions_opened: usize,
+    pub(crate) sessions_completed: usize,
 }
 
 pub(crate) struct SharedState<S: Symbol + Ord> {
@@ -252,18 +283,19 @@ impl WireBatchCache {
     }
 }
 
-/// A running `reconciled` daemon (listeners + accept thread), usable
+/// A running `reconciled` daemon (listeners + serving threads), usable
 /// in-process from tests or wrapped by the `reconciled` binary.
 pub struct Daemon<S: Symbol + Ord + Send + 'static> {
     data_addr: SocketAddr,
     admin_addr: SocketAddr,
     shared: Arc<SharedState<S>>,
-    accept_thread: Option<JoinHandle<()>>,
+    threads: Vec<JoinHandle<()>>,
 }
 
 impl<S: Symbol + Ord + Send + 'static> Daemon<S> {
     /// Binds both listeners, seeds the node with `initial` items, and
-    /// starts the accept thread.
+    /// starts the serving threads (reactor workers or an accept thread,
+    /// per [`DaemonConfig::model`]).
     pub fn spawn(config: DaemonConfig, initial: impl IntoIterator<Item = S>) -> io::Result<Self> {
         // The handshake carries the item length as a u16; reject a config
         // the wire format cannot express before binding anything.
@@ -313,16 +345,21 @@ impl<S: Symbol + Ord + Send + 'static> Daemon<S> {
             wire_cache: Mutex::new(WireBatchCache::default()),
         });
 
-        let accept_shared = Arc::clone(&shared);
-        let accept_thread = thread::Builder::new()
-            .name("reconciled-accept".into())
-            .spawn(move || accept_loop(data_listener, admin_listener, accept_shared))?;
+        let threads = match shared.config.model {
+            ServeModel::Reactor => event::spawn_workers(data_listener, admin_listener, &shared)?,
+            ServeModel::ThreadPerConnection => {
+                let accept_shared = Arc::clone(&shared);
+                vec![thread::Builder::new()
+                    .name("reconciled-accept".into())
+                    .spawn(move || accept_loop(data_listener, admin_listener, accept_shared))?]
+            }
+        };
 
         Ok(Daemon {
             data_addr,
             admin_addr,
             shared,
-            accept_thread: Some(accept_thread),
+            threads,
         })
     }
 
@@ -368,6 +405,13 @@ impl<S: Symbol + Ord + Send + 'static> Daemon<S> {
         lock_unpoisoned(&self.shared.node).digest()
     }
 
+    /// The daemon's live metric handles — tests and embedding processes can
+    /// read counters and histogram snapshots directly instead of parsing
+    /// the rendered exposition.
+    pub fn metrics(&self) -> &DaemonMetrics {
+        &self.shared.metrics
+    }
+
     /// Adds an item (patching O(log m) cells of its shard's cache).
     /// Returns false if it was already present.
     pub fn insert(&self, item: S) -> bool {
@@ -401,12 +445,12 @@ impl<S: Symbol + Ord + Send + 'static> Daemon<S> {
 
     /// Blocks until a shutdown is requested, then drains: stops accepting,
     /// waits (bounded by the read timeout plus slack) for live connections
-    /// to finish, and joins the accept thread.
+    /// to finish, and joins the serving threads.
     pub fn wait(mut self) {
         while !self.shared.stop.load(Ordering::SeqCst) {
             thread::sleep(Duration::from_millis(20));
         }
-        if let Some(handle) = self.accept_thread.take() {
+        for handle in self.threads.drain(..) {
             let _ = handle.join();
         }
         let deadline = Instant::now() + self.shared.config.read_timeout + Duration::from_secs(2);
@@ -425,7 +469,7 @@ impl<S: Symbol + Ord + Send + 'static> Daemon<S> {
 impl<S: Symbol + Ord + Send + 'static> Drop for Daemon<S> {
     fn drop(&mut self) {
         self.shared.request_shutdown();
-        if let Some(handle) = self.accept_thread.take() {
+        for handle in self.threads.drain(..) {
             let _ = handle.join();
         }
     }
@@ -565,16 +609,7 @@ fn serve_peer<S: Symbol + Ord>(
     let handshake = server_handshake(stream, &local_hello);
     handshake_span.stop();
     handshake?;
-    acct.bytes_in += (LENGTH_PREFIX_BYTES + HELLO_BYTES) as u64;
-    acct.bytes_out += (LENGTH_PREFIX_BYTES + HELLO_BYTES) as u64;
-    shared
-        .metrics
-        .bytes_in
-        .add((LENGTH_PREFIX_BYTES + HELLO_BYTES) as u64);
-    shared
-        .metrics
-        .bytes_out
-        .add((LENGTH_PREFIX_BYTES + HELLO_BYTES) as u64);
+    account_handshake(shared, acct);
 
     // All per-connection protocol state: the next cache offset per stream.
     let mut offsets: HashMap<(SessionId, ShardId), usize> = HashMap::new();
@@ -591,64 +626,104 @@ fn serve_peer<S: Symbol + Ord>(
             Ok(Some(bytes)) => bytes,
             Err(e) => return Err(e.into()),
         };
-        let frame = MuxFrame::from_bytes(&bytes)?;
-        acct.bytes_in += (LENGTH_PREFIX_BYTES + frame.wire_size()) as u64;
-        shared
-            .metrics
-            .bytes_in
-            .add((LENGTH_PREFIX_BYTES + frame.wire_size()) as u64);
-        let key = (frame.session, frame.shard);
-        match frame.message {
-            EngineMessage::Open(ref request) => {
-                validate_stream_open(request, RIBLT_STREAM_MAGIC, config.symbol_len)?;
-                if frame.shard >= config.shards {
-                    return Err(EngineError::Protocol("shard out of range"));
-                }
-                if offsets.insert(key, 0).is_some() {
-                    return Err(EngineError::Protocol("duplicate open for session/shard"));
-                }
-                acct.sessions_opened += 1;
-                shared.metrics.sessions_opened.inc();
-                serve_batch(stream, shared, &mut offsets, key, acct)?;
-            }
-            EngineMessage::Continue => {
-                if !offsets.contains_key(&key) {
-                    return Err(EngineError::Protocol("continue for unknown session/shard"));
-                }
-                serve_batch(stream, shared, &mut offsets, key, acct)?;
-            }
-            EngineMessage::Done => {
-                // Duplicate Dones are harmless (mirrors ServerMux).
-                if let Some(served) = offsets.remove(&key) {
-                    acct.sessions_completed += 1;
-                    shared.metrics.sessions_completed.inc();
-                    shared.metrics.session_symbols.observe(served as u64);
-                    shared.metrics.events.record(
-                        "session_done",
-                        format!("session={} shard={} symbols={served}", key.0, key.1),
-                    );
-                }
-            }
-            EngineMessage::Payload(_) | EngineMessage::Request(_) => {
-                return Err(EngineError::Protocol(
-                    "client sent a server-side or interactive frame",
-                ));
-            }
+        if let Some(reply) = handle_client_frame(shared, &mut offsets, &bytes, acct)? {
+            account_frame_out(shared, acct, reply.len());
+            write_frame_vectored(stream, &reply)?;
         }
     }
 }
 
-/// Serves the next batch of a stream: a precomputed wire batch when the
-/// shard is unchanged since it was encoded, otherwise a cache-range read
-/// under the node lock; either way written as one payload frame with a
-/// single vectored write.
-fn serve_batch<S: Symbol + Ord>(
-    stream: &mut TcpStream,
+/// Books the two 18-byte hello frames (one each way) a completed handshake
+/// moved. Shared by both serving models so byte accounting matches.
+pub(crate) fn account_handshake<S: Symbol + Ord>(
+    shared: &SharedState<S>,
+    acct: &mut ConnAccounting,
+) {
+    let hello_wire = (LENGTH_PREFIX_BYTES + HELLO_BYTES) as u64;
+    acct.bytes_in += hello_wire;
+    acct.bytes_out += hello_wire;
+    shared.metrics.bytes_in.add(hello_wire);
+    shared.metrics.bytes_out.add(hello_wire);
+}
+
+/// Books one outbound frame of `frame_len` body bytes (prefix added here).
+pub(crate) fn account_frame_out<S: Symbol + Ord>(
+    shared: &SharedState<S>,
+    acct: &mut ConnAccounting,
+    frame_len: usize,
+) {
+    let wire = (LENGTH_PREFIX_BYTES + frame_len) as u64;
+    acct.bytes_out += wire;
+    shared.metrics.bytes_out.add(wire);
+}
+
+/// Dispatches one post-handshake client frame, returning the reply frame's
+/// body bytes if the frame calls for one (`Open`/`Continue` → one payload
+/// frame, `Done` → none). Both serving models route every client frame
+/// through here — the thread-per-connection loop writes the reply with a
+/// blocking vectored write, the reactor appends it to the connection's
+/// write buffer — which is what makes their wire output byte-identical by
+/// construction.
+pub(crate) fn handle_client_frame<S: Symbol + Ord>(
+    shared: &SharedState<S>,
+    offsets: &mut HashMap<(SessionId, ShardId), usize>,
+    frame_bytes: &[u8],
+    acct: &mut ConnAccounting,
+) -> reconcile_core::Result<Option<Vec<u8>>> {
+    let config = &shared.config;
+    let frame = MuxFrame::from_bytes(frame_bytes)?;
+    let wire_in = (LENGTH_PREFIX_BYTES + frame.wire_size()) as u64;
+    acct.bytes_in += wire_in;
+    shared.metrics.bytes_in.add(wire_in);
+    let key = (frame.session, frame.shard);
+    match frame.message {
+        EngineMessage::Open(ref request) => {
+            validate_stream_open(request, RIBLT_STREAM_MAGIC, config.symbol_len)?;
+            if frame.shard >= config.shards {
+                return Err(EngineError::Protocol("shard out of range"));
+            }
+            if offsets.insert(key, 0).is_some() {
+                return Err(EngineError::Protocol("duplicate open for session/shard"));
+            }
+            acct.sessions_opened += 1;
+            shared.metrics.sessions_opened.inc();
+            next_payload_frame(shared, offsets, key, acct).map(Some)
+        }
+        EngineMessage::Continue => {
+            if !offsets.contains_key(&key) {
+                return Err(EngineError::Protocol("continue for unknown session/shard"));
+            }
+            next_payload_frame(shared, offsets, key, acct).map(Some)
+        }
+        EngineMessage::Done => {
+            // Duplicate Dones are harmless (mirrors ServerMux).
+            if let Some(served) = offsets.remove(&key) {
+                acct.sessions_completed += 1;
+                shared.metrics.sessions_completed.inc();
+                shared.metrics.session_symbols.observe(served as u64);
+                shared.metrics.events.record(
+                    "session_done",
+                    format!("session={} shard={} symbols={served}", key.0, key.1),
+                );
+            }
+            Ok(None)
+        }
+        EngineMessage::Payload(_) | EngineMessage::Request(_) => Err(EngineError::Protocol(
+            "client sent a server-side or interactive frame",
+        )),
+    }
+}
+
+/// Produces the next batch of a stream as a ready-to-frame reply body: a
+/// precomputed wire batch when the shard is unchanged since it was encoded,
+/// otherwise a cache-range read under the node lock. Advances the stream's
+/// offset; the caller owns the actual write (and its accounting).
+fn next_payload_frame<S: Symbol + Ord>(
     shared: &SharedState<S>,
     offsets: &mut HashMap<(SessionId, ShardId), usize>,
     key: (SessionId, ShardId),
     acct: &mut ConnAccounting,
-) -> reconcile_core::Result<()> {
+) -> reconcile_core::Result<Vec<u8>> {
     let config = &shared.config;
     let next = offsets[&key];
     if next >= config.max_units_per_session {
@@ -699,14 +774,9 @@ fn serve_batch<S: Symbol + Ord>(
     offsets.insert(key, next + config.batch_symbols);
 
     let reply = MuxFrame::new(key.0, key.1, EngineMessage::Payload(payload));
-    acct.bytes_out += (LENGTH_PREFIX_BYTES + reply.wire_size()) as u64;
-    shared
-        .metrics
-        .bytes_out
-        .add((LENGTH_PREFIX_BYTES + reply.wire_size()) as u64);
-    let written = write_frame_vectored(stream, &reply.to_bytes()).map_err(EngineError::from);
+    let bytes = reply.to_bytes();
     batch_span.stop();
-    written
+    Ok(bytes)
 }
 
 #[cfg(test)]

@@ -2,8 +2,10 @@
 //!
 //! Everything below `crates/server` in the workspace runs over either an
 //! in-memory loop or the deterministic simulator. This crate is the step
-//! onto real infrastructure: a long-lived, std-only, thread-per-connection
-//! TCP daemon ([`Daemon`]) that
+//! onto real infrastructure: a long-lived, std-only TCP daemon ([`Daemon`])
+//! — by default a small pool of reactor threads over nonblocking sockets
+//! (see [`event`] and [`reactor`]), with the original thread-per-connection
+//! model kept behind [`ServeModel::ThreadPerConnection`] — that
 //!
 //! * maintains one item set hash-partitioned into shards, each shard backed
 //!   by a shared incrementally-maintained [`riblt::SketchCache`] (via
@@ -35,10 +37,13 @@
 pub mod admin;
 pub mod cli;
 pub mod daemon;
+pub mod event;
+pub mod loadgen;
 pub mod metrics;
+pub mod reactor;
 
 pub use admin::{admin_request, AdminClient, MULTILINE_END};
-pub use daemon::{Daemon, DaemonConfig, DaemonStats};
+pub use daemon::{Daemon, DaemonConfig, DaemonStats, ServeModel};
 pub use metrics::DaemonMetrics;
 
 use riblt::Symbol;

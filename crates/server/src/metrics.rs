@@ -53,9 +53,15 @@ pub struct DaemonMetrics {
     pub symbols_served: Arc<Counter>,
     /// Nanoseconds of CPU spent producing payloads.
     pub serve_cpu_nanos: Arc<Counter>,
+    /// Times a reactor connection crossed its write-buffer high-water mark
+    /// and had its request processing paused until the peer drained.
+    pub backpressure_pauses: Arc<Counter>,
 
     /// Data + admin connections currently open.
     pub connections_active: Arc<Gauge>,
+    /// Reactor worker threads serving connections (0 under the
+    /// thread-per-connection model).
+    pub reactor_workers: Arc<Gauge>,
     /// Items currently in the set.
     pub items: Arc<Gauge>,
     /// Configured shard count.
@@ -144,10 +150,18 @@ impl DaemonMetrics {
             "reconciled_serve_cpu_nanoseconds_total",
             "Nanoseconds of CPU spent producing payloads (cache reads plus wire encoding).",
         );
+        let backpressure_pauses = registry.counter(
+            "reconciled_backpressure_pauses_total",
+            "Connections paused at their write-buffer high-water mark until the peer drained.",
+        );
 
         let connections_active = registry.gauge(
             "reconciled_connections_active",
             "Data plus admin connections currently open.",
+        );
+        let reactor_workers = registry.gauge(
+            "reconciled_reactor_workers",
+            "Reactor worker threads serving connections (0 = thread-per-connection).",
         );
         let items = registry.gauge("reconciled_items", "Items currently in the served set.");
         let shards = registry.gauge("reconciled_shards", "Configured keyspace shard count.");
@@ -166,7 +180,8 @@ impl DaemonMetrics {
         );
         let serve_batch_seconds = registry.histogram_seconds(
             "reconciled_serve_batch_seconds",
-            "Latency of serving one coded-symbol batch (cache lookup or encode, plus the write).",
+            "Latency of producing one coded-symbol batch (cache lookup or encode plus frame \
+             assembly; excludes the socket write, so a slow reader cannot inflate it).",
         );
         let session_symbols = registry.histogram(
             "reconciled_session_symbols",
@@ -194,7 +209,9 @@ impl DaemonMetrics {
             removes,
             symbols_served,
             serve_cpu_nanos,
+            backpressure_pauses,
             connections_active,
+            reactor_workers,
             items,
             shards,
             uptime_seconds,

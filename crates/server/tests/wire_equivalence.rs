@@ -1,0 +1,199 @@
+//! Wire equivalence between the two serving models: under a pinned seed
+//! and identical configuration, the reactor daemon must emit a stream of
+//! bytes **identical** to the thread-per-connection daemon — for full
+//! reconciliations, for handshake rejects, and for post-handshake protocol
+//! errors. Both models route every byte through the same producers
+//! (`handle_client_frame`, the hello/reject encoders), so this holds by
+//! construction; this test pins it against regressions in either path.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use reconcile_core::backends::RibltBackend;
+use reconcile_core::handshake::{Hello, PROTOCOL_VERSION};
+use reconcile_core::{write_frame, MuxFrame};
+use riblt::FixedBytes;
+use riblt_hash::SipKey;
+use server::{Daemon, DaemonConfig, ServeModel};
+use statesync::{sync_sharded_tcp, TcpSyncConfig};
+
+type Item = FixedBytes<8>;
+
+/// A pinned key: equivalence must hold for arbitrary keys, and a
+/// non-default one catches accidental `SipKey::default()` hardcoding.
+const KEY: SipKey = SipKey::new(0x5eed_0000_0000_0001, 0x5eed_0000_0000_0002);
+
+fn spawn(model: ServeModel) -> Daemon<Item> {
+    Daemon::spawn(
+        DaemonConfig {
+            shards: 4,
+            key: KEY,
+            batch_symbols: 32,
+            model,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            ..Default::default()
+        },
+        (0..3_000u64).map(Item::from_u64),
+    )
+    .unwrap()
+}
+
+/// Wraps a connection, recording every byte in each direction.
+struct Recording {
+    inner: TcpStream,
+    sent: Vec<u8>,
+    received: Vec<u8>,
+}
+
+impl Read for Recording {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.received.extend_from_slice(&buf[..n]);
+        Ok(n)
+    }
+}
+
+impl Write for Recording {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.sent.extend_from_slice(&buf[..n]);
+        Ok(n)
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+fn connect(daemon: &Daemon<Item>) -> TcpStream {
+    let stream = TcpStream::connect(daemon.data_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    stream
+}
+
+/// Runs a full deterministic reconciliation and returns the byte
+/// transcript `(client → server, server → client)`.
+fn sync_transcript(model: ServeModel) -> (Vec<u8>, Vec<u8>) {
+    let daemon = spawn(model);
+    let mut conn = Recording {
+        inner: connect(&daemon),
+        sent: Vec::new(),
+        received: Vec::new(),
+    };
+    // Deterministic client: fixed local set, fixed session id (the config
+    // default), single decode thread.
+    let local: Vec<Item> = (100..3_200u64).map(Item::from_u64).collect();
+    let (diffs, _) = sync_sharded_tcp(
+        &mut conn,
+        &local,
+        |_| RibltBackend::<Item>::with_key_and_alpha(8, 32, KEY, riblt::DEFAULT_ALPHA),
+        &TcpSyncConfig {
+            key: KEY,
+            threads: 1,
+            ..Default::default()
+        },
+    )
+    .expect("sync");
+    let recovered: usize = diffs
+        .iter()
+        .map(|d| d.remote_only.len() + d.local_only.len())
+        .sum();
+    assert_eq!(recovered, 100 + 200, "wrong difference recovered");
+    daemon.shutdown();
+    (conn.sent, conn.received)
+}
+
+/// Sends `frames` raw (each length-prefixed), then drains the server's
+/// side of the conversation to EOF, returning everything it said.
+fn raw_exchange(model: ServeModel, frames: &[Vec<u8>]) -> Vec<u8> {
+    let daemon = spawn(model);
+    let mut conn = connect(&daemon);
+    for frame in frames {
+        write_frame(&mut conn, frame).unwrap();
+    }
+    // Half-close so a server that (correctly) ignores the final frame sees
+    // a clean EOF instead of waiting out its read timeout.
+    conn.shutdown(std::net::Shutdown::Write).unwrap();
+    let mut replies = Vec::new();
+    let mut buf = [0u8; 4096];
+    loop {
+        match conn.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => replies.extend_from_slice(&buf[..n]),
+            Err(e) => panic!("expected server close, got {e}"),
+        }
+    }
+    daemon.shutdown();
+    replies
+}
+
+#[test]
+fn full_reconciliation_transcripts_are_byte_identical() {
+    let (sent_reactor, recv_reactor) = sync_transcript(ServeModel::Reactor);
+    let (sent_threaded, recv_threaded) = sync_transcript(ServeModel::ThreadPerConnection);
+    // Same server bytes ⇒ the deterministic client sends the same bytes —
+    // assert both directions so a divergence pinpoints its side.
+    assert_eq!(
+        recv_reactor, recv_threaded,
+        "server→client streams diverge between serving models"
+    );
+    assert_eq!(
+        sent_reactor, sent_threaded,
+        "client→server streams diverge between serving models"
+    );
+    assert!(
+        !recv_reactor.is_empty(),
+        "transcript is empty — the comparison proved nothing"
+    );
+}
+
+#[test]
+fn handshake_reject_bytes_are_identical() {
+    // A well-formed hello frame the daemon must reject (wrong fingerprint):
+    // both models answer with the same reject frame, then close.
+    let bad_hello = Hello::new(SipKey::new(0xbad, 0xbad), 0, 8)
+        .to_bytes()
+        .to_vec();
+    let reactor = raw_exchange(ServeModel::Reactor, std::slice::from_ref(&bad_hello));
+    let threaded = raw_exchange(ServeModel::ThreadPerConnection, &[bad_hello]);
+    assert_eq!(reactor, threaded, "reject replies diverge");
+    assert!(!reactor.is_empty(), "expected a reject frame, got silence");
+
+    // Wrong protocol version.
+    let mut versioned = Hello::new(KEY, 0, 8);
+    versioned.version = PROTOCOL_VERSION + 1;
+    let reactor = raw_exchange(ServeModel::Reactor, &[versioned.to_bytes().to_vec()]);
+    let threaded = raw_exchange(
+        ServeModel::ThreadPerConnection,
+        &[versioned.to_bytes().to_vec()],
+    );
+    assert_eq!(reactor, threaded, "version-reject replies diverge");
+
+    // Garbage that does not even parse as a hello.
+    let garbage = vec![0xFFu8; 18];
+    let reactor = raw_exchange(ServeModel::Reactor, std::slice::from_ref(&garbage));
+    let threaded = raw_exchange(ServeModel::ThreadPerConnection, &[garbage]);
+    assert_eq!(reactor, threaded, "malformed-hello replies diverge");
+}
+
+#[test]
+fn post_handshake_protocol_error_bytes_are_identical() {
+    // Valid handshake, then an unparseable mux frame: both models reply
+    // with the server hello only, then drop the connection without
+    // emitting anything else.
+    let hello = Hello::new(KEY, 0, 8).to_bytes().to_vec();
+    let junk_mux = vec![0xABu8; 9];
+    let reactor = raw_exchange(ServeModel::Reactor, &[hello.clone(), junk_mux.clone()]);
+    let threaded = raw_exchange(ServeModel::ThreadPerConnection, &[hello.clone(), junk_mux]);
+    assert_eq!(reactor, threaded, "protocol-error teardowns diverge");
+
+    // A Done for a session that was never opened is quietly ignored in
+    // both models (idempotent retire), after which EOF closes cleanly.
+    let stray_done = MuxFrame::new(7, 0, reconcile_core::EngineMessage::Done).to_bytes();
+    let reactor = raw_exchange(ServeModel::Reactor, &[hello.clone(), stray_done.clone()]);
+    let threaded = raw_exchange(ServeModel::ThreadPerConnection, &[hello, stray_done]);
+    assert_eq!(reactor, threaded, "stray-Done handling diverges");
+}

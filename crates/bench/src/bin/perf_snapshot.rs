@@ -30,6 +30,10 @@
 //!   quick, 1,024 full), reporting syncs/s, client-side sync p99, and the
 //!   registry's serve-batch p99. The full sweep lives in
 //!   `fig_daemon_scale`.
+//! - `udp_loss/8B` — a UDP sync against the same in-process daemon over
+//!   real loopback, clean and with 10% loss injected in both directions,
+//!   reporting completion time at each and the retransmit/datagram cost
+//!   of the loss. The full loss sweep lives in `fig_udp_loss`.
 
 use cluster::{reconcile_pair, Node, NodeConfig, PairSyncConfig};
 use netsim::{LinkConfig, Topology};
@@ -41,8 +45,8 @@ use riblt_bench::{items32, set_pair32, timed, Item32, Item8, RunScale};
 use riblt_hash::{splitmix64, SipKey};
 use server::loadgen::{raise_nofile_limit, run as loadgen_run, server_items, LoadgenConfig};
 use server::{Daemon, DaemonConfig};
-use statesync::{sync_sharded_tcp, TcpSyncConfig};
-use std::net::TcpStream;
+use statesync::{sync_sharded_tcp, sync_sharded_udp, LossyConduit, TcpSyncConfig, UdpSyncConfig};
+use std::net::{TcpStream, UdpSocket};
 use std::time::Duration;
 
 fn main() {
@@ -89,6 +93,7 @@ fn main() {
     let (daemon_record, daemon_metrics) = bench_daemon_stream(scale, seed);
     benches.push(daemon_record);
     benches.push(bench_daemon_scale(scale, seed));
+    benches.push(bench_udp_loss(scale, seed));
 
     let snapshot = Snapshot {
         generated: today_utc(),
@@ -508,4 +513,81 @@ fn bench_daemon_scale(scale: RunScale, seed: u64) -> BenchRecord {
         .metric("sync_p99_s", report.latency_quantile(0.99))
         .metric("serve_batch_p99_s", serve.p99() / 1e9)
         .metric("backpressure_pauses", pauses as f64)
+}
+
+fn bench_udp_loss(scale: RunScale, seed: u64) -> BenchRecord {
+    let base_items = scale.pick(2_048u64, 8_192u64);
+    let diff = scale.pick(96u64, 256u64);
+    let loss = 0.10;
+    let key = SipKey::new(derive(seed, 0x0db1), derive(seed, 0x10bb));
+
+    let server_set: Vec<Item8> = (0..base_items).map(Item8::from_u64).collect();
+    let local: Vec<Item8> = (diff / 2..base_items + diff / 2)
+        .map(Item8::from_u64)
+        .collect();
+    let daemon = Daemon::spawn(
+        DaemonConfig {
+            shards: 4,
+            key,
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(30),
+            udp_listen: Some("127.0.0.1:0".into()),
+            ..Default::default()
+        },
+        server_set,
+    )
+    .expect("daemon spawn");
+
+    let sync_config = UdpSyncConfig {
+        key,
+        nonce: derive(seed, 0x0d9a) | 1,
+        deadline: Duration::from_secs(60),
+        ..Default::default()
+    };
+    let dial = || {
+        let socket = UdpSocket::bind("127.0.0.1:0").expect("bind");
+        socket
+            .connect(daemon.udp_addr().expect("udp enabled"))
+            .expect("connect");
+        socket
+    };
+    let backend = |_| RibltBackend::<Item8>::with_key_and_alpha(8, 32, key, riblt::DEFAULT_ALPHA);
+
+    let ((_, clean), clean_s) = timed(|| {
+        let mut socket = dial();
+        sync_sharded_udp(&mut socket, &local, backend, &sync_config).expect("clean udp sync")
+    });
+    let lossy_config = UdpSyncConfig {
+        nonce: sync_config.nonce + 1,
+        ..sync_config
+    };
+    let ((diffs, lossy), lossy_s) = timed(|| {
+        let mut conduit = LossyConduit::new(dial(), loss, derive(seed, 0x70ca));
+        sync_sharded_udp(&mut conduit, &local, backend, &lossy_config).expect("lossy udp sync")
+    });
+    let recovered: usize = diffs.iter().map(|d| d.remote_only.len()).sum();
+    assert_eq!(
+        recovered as u64,
+        diff / 2,
+        "udp_loss recovered the difference"
+    );
+    daemon.shutdown();
+
+    BenchRecord::new("udp_loss/8B")
+        .param("symbol_bytes", 8.0)
+        .param("base_items", base_items as f64)
+        .param("difference", diff as f64)
+        .param("loss", loss)
+        .param("shards", 4.0)
+        .metric("wall_s", lossy_s)
+        .metric("clean_wall_s", clean_s)
+        .metric("units", lossy.units as f64)
+        .metric(
+            "extra_units",
+            lossy.units.saturating_sub(clean.units) as f64,
+        )
+        .metric("retransmits", lossy.retransmits as f64)
+        .metric("stale_batches", lossy.stale_batches as f64)
+        .metric("datagrams_sent", lossy.datagrams_sent as f64)
+        .metric("datagrams_received", lossy.datagrams_received as f64)
 }

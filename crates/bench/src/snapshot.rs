@@ -50,6 +50,7 @@ pub const REQUIRED_BENCHES: &[&str] = &[
     "sketch_subtract",
     "mux_sharded_decode",
     "daemon_stream",
+    "udp_loss",
 ];
 
 /// One micro-bench result: a name plus ordered `params` and `metrics`

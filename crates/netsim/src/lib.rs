@@ -5,6 +5,9 @@
 //!   Dummynet testbed (DESIGN.md §4).
 //! * [`Topology`] — a full mesh of per-pair links with per-node byte
 //!   accounting, for the N-node cluster experiments.
+//! * [`datagram_pair`] — an in-process lossy datagram link (seeded loss,
+//!   duplication, adjacent reordering) for exercising the UDP transport
+//!   without sockets.
 //! * [`TimeSeries`] — byte-delivery accounting for bandwidth traces
 //!   (Fig. 13).
 //! * [`write_frame`] / [`read_frame`] — re-exports of the canonical
@@ -14,10 +17,12 @@
 
 #![warn(missing_docs)]
 
+mod datagram;
 mod link;
 mod timeseries;
 mod topology;
 
+pub use datagram::{datagram_pair, DatagramEndpoint, DatagramLinkConfig, DatagramLinkStats};
 pub use link::{LinkConfig, LinkDirection, SimLink};
 pub use reconcile_core::framing::{read_frame, write_frame, MAX_FRAME_BYTES};
 pub use timeseries::TimeSeries;

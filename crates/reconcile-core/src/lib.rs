@@ -41,6 +41,7 @@
 
 mod backend;
 pub mod backends;
+pub mod datagram;
 mod engine;
 mod error;
 pub mod framing;
@@ -50,6 +51,11 @@ pub mod shard;
 pub mod wirefmt;
 
 pub use backend::{Progress, ReconcileBackend};
+pub use datagram::{
+    handle_server_datagram, max_symbols_in_budget, session_cookie, BatchSequencer, DatagramEvent,
+    DatagramHeader, DatagramKind, DatagramServiceConfig, UdpSessionTable, DATAGRAM_HEADER_BYTES,
+    DEFAULT_MTU_BUDGET,
+};
 pub use engine::{run_in_memory, ClientEngine, EngineMessage, RunReport, ServerEngine};
 pub use error::{EngineError, Result};
 pub use framing::{

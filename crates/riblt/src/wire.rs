@@ -23,6 +23,29 @@ const MAGIC: [u8; 4] = *b"RIbt";
 /// Wire format version.
 const VERSION: u8 = 1;
 
+/// Reads just the envelope of an encoded batch — its start index and
+/// symbol count — without decoding the symbols.
+///
+/// Datagram transports use this to sequence reorder-buffered batches (the
+/// decoder consumes symbols positionally) before paying for the full
+/// decode; the extent lives entirely in the fixed header VLQs.
+pub fn peek_batch_extent(bytes: &[u8]) -> Result<(u64, usize)> {
+    let mut pos = 0usize;
+    if bytes.len() < 5 || bytes[..4] != MAGIC {
+        return Err(Error::WireFormat("bad magic"));
+    }
+    pos += 4;
+    if bytes[pos] != VERSION {
+        return Err(Error::WireFormat("unsupported version"));
+    }
+    pos += 1;
+    let _symbol_len = read_vlq(bytes, &mut pos)?;
+    let _set_size = read_vlq(bytes, &mut pos)?;
+    let start_index = read_vlq(bytes, &mut pos)?;
+    let batch_len = read_vlq(bytes, &mut pos)? as usize;
+    Ok((start_index, batch_len))
+}
+
 /// Writes `value` as a VLQ (7 bits per byte, MSB = continuation).
 pub fn write_vlq(out: &mut Vec<u8>, mut value: u64) {
     loop {
@@ -258,6 +281,27 @@ mod tests {
     use crate::symbol::FixedBytes;
 
     type Sym = FixedBytes<8>;
+
+    #[test]
+    fn peek_extent_matches_the_full_decode() {
+        let mut encoder = Encoder::<Sym>::new();
+        for i in 0..50u64 {
+            encoder.add_symbol(Sym::from_u64(i)).unwrap();
+        }
+        let cells: Vec<CodedSymbol<Sym>> = (0..20)
+            .map(|_| encoder.produce_next_coded_symbol())
+            .collect();
+        let codec = SymbolCodec::new(8, 50);
+        let bytes = codec.encode_batch(&cells[5..15], 5);
+        assert_eq!(peek_batch_extent(&bytes).unwrap(), (5, 10));
+        let decoded = codec.decode_batch::<Sym>(&bytes).unwrap();
+        assert_eq!(decoded.start_index, 5);
+        assert_eq!(decoded.symbols.len(), 10);
+        // Truncations inside the envelope error instead of panicking.
+        for cut in 0..8 {
+            assert!(peek_batch_extent(&bytes[..cut]).is_err());
+        }
+    }
 
     #[test]
     fn vlq_roundtrip() {

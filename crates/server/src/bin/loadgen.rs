@@ -15,12 +15,12 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use server::cli::{flag_value, parse_key};
-use server::loadgen::{raise_nofile_limit, run, server_items, LoadgenConfig};
+use server::loadgen::{raise_nofile_limit, run, server_items, LoadgenConfig, Transport};
 use server::{Daemon, DaemonConfig};
 
 const USAGE: &str = "Usage: loadgen (--connect ADDR | --self-host) [--clients N] [--rounds N] \
                      [--base-items N] [--staleness A,B,C] [--reconnect] [--key K0HEX:K1HEX] \
-                     [--shards N] [--workers N] [--timeout-ms N]";
+                     [--shards N] [--workers N] [--timeout-ms N] [--transport tcp|udp]";
 
 struct Options {
     connect: Option<String>,
@@ -70,6 +70,13 @@ fn parse_args() -> Result<Options, String> {
                 }
             }
             "--reconnect" => config.reconnect = true,
+            "--transport" => {
+                config.transport = match flag_value(&mut args, "--transport")?.as_str() {
+                    "tcp" => Transport::Tcp,
+                    "udp" => Transport::Udp,
+                    other => return Err(format!("bad --transport {other:?} (tcp or udp)")),
+                }
+            }
             "--key" => config.key = parse_key(&flag_value(&mut args, "--key")?)?,
             "--shards" => {
                 shards = flag_value(&mut args, "--shards")?
@@ -123,10 +130,18 @@ fn main() -> ExitCode {
     };
 
     // Each client costs one fd (plus the daemon side when self-hosting).
+    // Failing one of a thousand dials with EADDRNOTAVAIL/EMFILE mid-run
+    // produces a uselessly noisy per-client error storm, so when the raise
+    // falls short of what the fleet needs, refuse to start at all.
     let want_fds = (options.config.clients as u64) * if options.self_host { 2 } else { 1 } + 256;
     let got = raise_nofile_limit(want_fds);
     if got < want_fds {
-        eprintln!("loadgen: warning: fd limit {got} < {want_fds} wanted; large runs may fail");
+        eprintln!(
+            "loadgen: fd limit {got} after raising, but {} clients need {want_fds}; \
+             raise the hard limit (ulimit -Hn) or lower --clients",
+            options.config.clients
+        );
+        return ExitCode::FAILURE;
     }
 
     let daemon = if options.self_host {
@@ -136,6 +151,8 @@ fn main() -> ExitCode {
             reactor_workers: options.workers,
             read_timeout: Duration::from_secs(30),
             write_timeout: Duration::from_secs(30),
+            udp_listen: (options.config.transport == Transport::Udp)
+                .then(|| "127.0.0.1:0".to_string()),
             ..Default::default()
         };
         match Daemon::spawn(daemon_config, server_items(options.config.base_items)) {
@@ -149,21 +166,33 @@ fn main() -> ExitCode {
         None
     };
     let addr = match (&daemon, &options.connect) {
-        (Some(daemon), _) => daemon.data_addr().to_string(),
+        (Some(daemon), _) => match options.config.transport {
+            Transport::Udp => daemon
+                .udp_addr()
+                .expect("self-hosted daemon was spawned with udp_listen")
+                .to_string(),
+            Transport::Tcp => daemon.data_addr().to_string(),
+        },
         (None, Some(addr)) => addr.clone(),
         (None, None) => unreachable!("parse_args enforces one target"),
     };
 
     eprintln!(
-        "loadgen: {} clients x {} rounds against {addr} (staleness mix {:?}, reconnect={})",
+        "loadgen: {} clients x {} rounds against {addr} over {} \
+         (staleness mix {:?}, reconnect={})",
         options.config.clients,
         options.config.rounds,
+        match options.config.transport {
+            Transport::Tcp => "tcp",
+            Transport::Udp => "udp",
+        },
         options.config.staleness,
         options.config.reconnect
     );
     let report = run(&addr, &options.config);
 
     println!("clients            {}", report.clients);
+    println!("fd limit           {got} (needed {want_fds})");
     println!(
         "syncs              {} ok / {} failed",
         report.syncs_ok, report.syncs_failed

@@ -42,7 +42,7 @@
 
 use std::collections::HashMap;
 use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener, TcpStream, UdpSocket};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
@@ -51,6 +51,10 @@ use std::time::{Duration, Instant};
 use cluster::{Node, NodeConfig};
 use obs::{lock_unpoisoned, SpanTimer};
 use reconcile_core::backends::RIBLT_STREAM_MAGIC;
+use reconcile_core::datagram::{
+    handle_server_datagram, DatagramEvent, DatagramServiceConfig, UdpSessionTable,
+    DEFAULT_MTU_BUDGET, MIN_MTU_BUDGET,
+};
 use reconcile_core::framing::{read_frame_or_eof, LENGTH_PREFIX_BYTES};
 use reconcile_core::handshake::{server_handshake, Hello, HELLO_BYTES};
 use reconcile_core::wirefmt::validate_stream_open;
@@ -118,6 +122,14 @@ pub struct DaemonConfig {
     /// for everyone. Ignored under [`ServeModel::ThreadPerConnection`]
     /// (there the blocking write *is* the backpressure).
     pub max_write_buffer: usize,
+    /// UDP data listener address (`None` disables the datagram transport).
+    /// Serves the same coded-symbol streams as the TCP listener, over the
+    /// session-cookie datagram protocol (`reconcile_core::datagram`).
+    pub udp_listen: Option<String>,
+    /// Per-datagram byte budget on the UDP transport: replies are packed
+    /// with as many symbols as fit, and larger inbound datagrams are
+    /// dropped.
+    pub udp_mtu_budget: usize,
 }
 
 impl Default for DaemonConfig {
@@ -135,6 +147,8 @@ impl Default for DaemonConfig {
             model: ServeModel::default(),
             reactor_workers: 0,
             max_write_buffer: 1 << 20,
+            udp_listen: None,
+            udp_mtu_budget: DEFAULT_MTU_BUDGET,
         }
     }
 }
@@ -185,11 +199,16 @@ pub(crate) struct SharedState<S: Symbol + Ord> {
     /// successful insert/remove; a cached wire batch is valid only while its
     /// shard's generation is unchanged.
     pub(crate) shard_gens: Vec<AtomicU64>,
-    /// Precomputed wire batches, keyed by `(shard, offset)`. Serving a
-    /// repeat range — every peer reads the same universal coded-symbol
+    /// Precomputed wire batches, keyed by `(shard, offset, count)`. Serving
+    /// a repeat range — every peer reads the same universal coded-symbol
     /// prefix — becomes a map lookup plus a memcpy instead of a cache-range
-    /// read and §6 re-encode under the node lock.
+    /// read and §6 re-encode under the node lock. The count is part of the
+    /// key because TCP (batch_symbols) and UDP (MTU-sized) batches tile the
+    /// same offsets with different strides.
     pub(crate) wire_cache: Mutex<WireBatchCache>,
+    /// Live UDP sessions, keyed by cookie (empty when the datagram
+    /// transport is disabled).
+    pub(crate) udp_sessions: Mutex<UdpSessionTable>,
 }
 
 impl<S: Symbol + Ord> SharedState<S> {
@@ -262,24 +281,24 @@ const WIRE_CACHE_MAX_BATCHES: usize = 4096;
 /// See [`SharedState::wire_cache`].
 #[derive(Default)]
 pub(crate) struct WireBatchCache {
-    batches: HashMap<(ShardId, usize), (u64, Vec<u8>)>,
+    batches: HashMap<(ShardId, usize, usize), (u64, Vec<u8>)>,
 }
 
 impl WireBatchCache {
-    fn get(&self, shard: ShardId, offset: usize, gen: u64) -> Option<Vec<u8>> {
-        match self.batches.get(&(shard, offset)) {
+    fn get(&self, shard: ShardId, offset: usize, count: usize, gen: u64) -> Option<Vec<u8>> {
+        match self.batches.get(&(shard, offset, count)) {
             Some((cached_gen, bytes)) if *cached_gen == gen => Some(bytes.clone()),
             _ => None,
         }
     }
 
-    fn insert(&mut self, shard: ShardId, offset: usize, gen: u64, bytes: Vec<u8>) {
+    fn insert(&mut self, shard: ShardId, offset: usize, count: usize, gen: u64, bytes: Vec<u8>) {
         if self.batches.len() >= WIRE_CACHE_MAX_BATCHES
-            && !self.batches.contains_key(&(shard, offset))
+            && !self.batches.contains_key(&(shard, offset, count))
         {
             self.batches.clear();
         }
-        self.batches.insert((shard, offset), (gen, bytes));
+        self.batches.insert((shard, offset, count), (gen, bytes));
     }
 }
 
@@ -288,6 +307,7 @@ impl WireBatchCache {
 pub struct Daemon<S: Symbol + Ord + Send + 'static> {
     data_addr: SocketAddr,
     admin_addr: SocketAddr,
+    udp_addr: Option<SocketAddr>,
     shared: Arc<SharedState<S>>,
     threads: Vec<JoinHandle<()>>,
 }
@@ -314,12 +334,33 @@ impl<S: Symbol + Ord + Send + 'static> Daemon<S> {
                 "at least one shard is required",
             ));
         }
+        if config.udp_listen.is_some() && config.udp_mtu_budget < MIN_MTU_BUDGET {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "udp_mtu_budget {} is below the {MIN_MTU_BUDGET}-byte floor",
+                    config.udp_mtu_budget
+                ),
+            ));
+        }
         let data_listener = TcpListener::bind(&config.listen)?;
         let admin_listener = TcpListener::bind(&config.admin)?;
         data_listener.set_nonblocking(true)?;
         admin_listener.set_nonblocking(true)?;
         let data_addr = data_listener.local_addr()?;
         let admin_addr = admin_listener.local_addr()?;
+        let udp_socket = match &config.udp_listen {
+            Some(addr) => {
+                let socket = UdpSocket::bind(addr)?;
+                socket.set_nonblocking(true)?;
+                Some(socket)
+            }
+            None => None,
+        };
+        let udp_addr = match &udp_socket {
+            Some(socket) => Some(socket.local_addr()?),
+            None => None,
+        };
 
         let mut node = Node::new(
             0,
@@ -343,21 +384,38 @@ impl<S: Symbol + Ord + Send + 'static> Daemon<S> {
             started: Instant::now(),
             shard_gens,
             wire_cache: Mutex::new(WireBatchCache::default()),
+            udp_sessions: Mutex::new(UdpSessionTable::new()),
         });
 
         let threads = match shared.config.model {
-            ServeModel::Reactor => event::spawn_workers(data_listener, admin_listener, &shared)?,
+            ServeModel::Reactor => {
+                event::spawn_workers(data_listener, admin_listener, udp_socket, &shared)?
+            }
             ServeModel::ThreadPerConnection => {
                 let accept_shared = Arc::clone(&shared);
-                vec![thread::Builder::new()
+                let mut threads = vec![thread::Builder::new()
                     .name("reconciled-accept".into())
-                    .spawn(move || accept_loop(data_listener, admin_listener, accept_shared))?]
+                    .spawn(move || accept_loop(data_listener, admin_listener, accept_shared))?];
+                if let Some(socket) = udp_socket {
+                    // One blocking thread moves all datagrams — sessions are
+                    // near-stateless, so there is no per-peer thread to spawn.
+                    socket.set_nonblocking(false)?;
+                    socket.set_read_timeout(Some(Duration::from_millis(50)))?;
+                    let udp_shared = Arc::clone(&shared);
+                    threads.push(
+                        thread::Builder::new()
+                            .name("reconciled-udp".into())
+                            .spawn(move || udp_loop(socket, udp_shared))?,
+                    );
+                }
+                threads
             }
         };
 
         Ok(Daemon {
             data_addr,
             admin_addr,
+            udp_addr,
             shared,
             threads,
         })
@@ -371,6 +429,12 @@ impl<S: Symbol + Ord + Send + 'static> Daemon<S> {
     /// Address of the admin/metrics listener.
     pub fn admin_addr(&self) -> SocketAddr {
         self.admin_addr
+    }
+
+    /// Address of the UDP data socket, when the datagram transport is
+    /// enabled ([`DaemonConfig::udp_listen`]).
+    pub fn udp_addr(&self) -> Option<SocketAddr> {
+        self.udp_addr
     }
 
     /// Snapshot of the aggregate counters.
@@ -453,7 +517,9 @@ impl<S: Symbol + Ord + Send + 'static> Daemon<S> {
         for handle in self.threads.drain(..) {
             let _ = handle.join();
         }
-        let deadline = Instant::now() + self.shared.config.read_timeout + Duration::from_secs(2);
+        let deadline = Instant::now()
+            + event::drain_grace(self.shared.config.read_timeout)
+            + Duration::from_secs(1);
         while self.shared.active.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
             thread::sleep(Duration::from_millis(10));
         }
@@ -471,6 +537,26 @@ impl<S: Symbol + Ord + Send + 'static> Drop for Daemon<S> {
         self.shared.request_shutdown();
         for handle in self.threads.drain(..) {
             let _ = handle.join();
+        }
+    }
+}
+
+/// Blocking datagram pump for the thread-per-connection model (the reactor
+/// registers the socket with its pollers instead).
+fn udp_loop<S: Symbol + Ord>(socket: UdpSocket, shared: Arc<SharedState<S>>) {
+    let mut buf = vec![0u8; 65_536];
+    let mut last_sweep = Instant::now();
+    while !shared.stop.load(Ordering::SeqCst) {
+        match socket.recv_from(&mut buf) {
+            Ok((len, peer)) => handle_udp_datagram(&socket, &shared, peer, &buf[..len]),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+            }
+            Err(e) => eprintln!("reconciled: udp recv error: {e}"),
+        }
+        if last_sweep.elapsed() >= Duration::from_millis(500) {
+            sweep_udp_sessions(&shared);
+            last_sweep = Instant::now();
         }
     }
 }
@@ -732,12 +818,35 @@ fn next_payload_frame<S: Symbol + Ord>(
     let (_session, shard) = key;
 
     let batch_span = SpanTimer::start(&shared.metrics.serve_batch_seconds);
+    let (payload, serve_cpu) = encode_shard_batch(shared, shard, next, config.batch_symbols);
+    acct.serve_cpu_s += serve_cpu.as_secs_f64();
+    offsets.insert(key, next + config.batch_symbols);
+
+    let reply = MuxFrame::new(key.0, key.1, EngineMessage::Payload(payload));
+    let bytes = reply.to_bytes();
+    batch_span.stop();
+    Ok(bytes)
+}
+
+/// Produces the wire-encoded batch `[next, next + count)` of a shard — a
+/// precomputed wire batch when the shard is unchanged since it was encoded,
+/// otherwise a cache-range read plus §6 encode under the node lock. Shared
+/// by the TCP path (count = `batch_symbols`) and the UDP path (count =
+/// whatever fits the MTU budget); the cache key includes the count so the
+/// two strides never collide. Returns the payload and the CPU time spent.
+pub(crate) fn encode_shard_batch<S: Symbol + Ord>(
+    shared: &SharedState<S>,
+    shard: ShardId,
+    next: usize,
+    count: usize,
+) -> (Vec<u8>, Duration) {
+    let config = &shared.config;
     let t0 = Instant::now();
     // Every peer reads the same universal prefix of a shard's coded-symbol
-    // sequence, so the encoded bytes of `[next, next + batch)` can be reused
+    // sequence, so the encoded bytes of `[next, next + count)` can be reused
     // across sessions and connections until the shard mutates.
     let gen = shared.shard_gen(shard);
-    let cached = lock_unpoisoned(&shared.wire_cache).get(shard, next, gen);
+    let cached = lock_unpoisoned(&shared.wire_cache).get(shard, next, count, gen);
     let payload = match cached {
         Some(bytes) => {
             shared.metrics.wire_cache_hits.inc();
@@ -753,30 +862,115 @@ fn next_payload_frame<S: Symbol + Ord>(
                 let set_size = node.shard_len(shard) as u64;
                 let codec =
                     SymbolCodec::with_alpha(config.symbol_len, set_size, riblt::DEFAULT_ALPHA);
-                let cells = node.shard_cells(shard, next, config.batch_symbols);
+                let cells = node.shard_cells(shard, next, count);
                 (gen_now, codec.encode_batch(cells, next as u64))
             };
-            lock_unpoisoned(&shared.wire_cache).insert(shard, next, gen_now, encoded.clone());
+            lock_unpoisoned(&shared.wire_cache).insert(
+                shard,
+                next,
+                count,
+                gen_now,
+                encoded.clone(),
+            );
             encoded
         }
     };
     let serve_cpu = t0.elapsed();
-    acct.serve_cpu_s += serve_cpu.as_secs_f64();
     shared
         .metrics
         .serve_cpu_nanos
         .add(serve_cpu.as_nanos().min(u64::MAX as u128) as u64);
     shared.metrics.payload_bytes.observe(payload.len() as u64);
-    shared
-        .metrics
-        .symbols_served
-        .add(config.batch_symbols as u64);
-    offsets.insert(key, next + config.batch_symbols);
+    shared.metrics.symbols_served.add(count as u64);
+    (payload, serve_cpu)
+}
 
-    let reply = MuxFrame::new(key.0, key.1, EngineMessage::Payload(payload));
-    let bytes = reply.to_bytes();
-    batch_span.stop();
-    Ok(bytes)
+/// Dispatches one inbound UDP datagram and transmits any replies. Shared by
+/// both serving models: the reactor workers call it from their nonblocking
+/// receive pump, the thread-per-connection model from a dedicated blocking
+/// UDP thread. Reply sends are best-effort — a full socket buffer drops the
+/// reply exactly like the network would, and the client's retransmit timer
+/// heals it.
+pub(crate) fn handle_udp_datagram<S: Symbol + Ord>(
+    socket: &UdpSocket,
+    shared: &SharedState<S>,
+    peer: SocketAddr,
+    datagram: &[u8],
+) {
+    let config = &shared.config;
+    shared.metrics.udp_datagrams_in.inc();
+    shared.metrics.bytes_in.add(datagram.len() as u64);
+    let service = DatagramServiceConfig {
+        hello: Hello::new(config.key, config.shards, config.symbol_len),
+        key: config.key,
+        mtu_budget: config.udp_mtu_budget,
+        max_units_per_session: config.max_units_per_session,
+    };
+    let peer_bytes = peer.to_string().into_bytes();
+    let (replies, event) = {
+        let mut table = lock_unpoisoned(&shared.udp_sessions);
+        handle_server_datagram(
+            &mut table,
+            &service,
+            &peer_bytes,
+            datagram,
+            Instant::now(),
+            |shard, start, count| {
+                if shard >= config.shards {
+                    return None;
+                }
+                let span = SpanTimer::start(&shared.metrics.serve_batch_seconds);
+                let (payload, _) = encode_shard_batch(shared, shard, start as usize, count);
+                span.stop();
+                Some(payload)
+            },
+        )
+    };
+    match event {
+        DatagramEvent::HelloAccepted { fresh: true, .. } => {
+            shared.metrics.udp_sessions_opened.inc();
+            shared.metrics.sessions_opened.inc();
+        }
+        DatagramEvent::HelloRejected => {
+            shared.metrics.handshake_failures.inc();
+            shared
+                .metrics
+                .events
+                .record("udp_handshake_fail", format!("peer={peer}"));
+        }
+        DatagramEvent::Done {
+            units,
+            session_complete: true,
+            ..
+        } => {
+            shared.metrics.sessions_completed.inc();
+            shared.metrics.session_symbols.observe(units);
+            shared
+                .metrics
+                .events
+                .record("udp_session_done", format!("peer={peer} units={units}"));
+        }
+        _ => {}
+    }
+    for reply in replies {
+        shared.metrics.udp_datagrams_out.inc();
+        shared.metrics.bytes_out.add(reply.len() as u64);
+        let _ = socket.send_to(&reply, peer);
+    }
+}
+
+/// Retires UDP sessions idle past the read timeout. Called from the reactor
+/// tick (and the blocking UDP thread's idle path).
+pub(crate) fn sweep_udp_sessions<S: Symbol + Ord>(shared: &SharedState<S>) {
+    let expired =
+        lock_unpoisoned(&shared.udp_sessions).sweep(Instant::now(), shared.config.read_timeout);
+    if expired > 0 {
+        shared.metrics.udp_sessions_expired.add(expired as u64);
+        shared
+            .metrics
+            .events
+            .record("udp_session_expired", format!("count={expired}"));
+    }
 }
 
 #[cfg(test)]

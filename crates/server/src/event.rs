@@ -40,21 +40,22 @@
 
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener, TcpStream, UdpSocket};
 use std::os::fd::AsRawFd;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-use reconcile_core::framing::FrameBuffer;
+use reconcile_core::framing::{FrameBuffer, MAX_FRAME_BYTES};
 use reconcile_core::handshake::{reject_frame_bytes, validate_client_hello, Hello, RejectReason};
 use reconcile_core::{SessionId, ShardId};
 use riblt::Symbol;
 
 use crate::admin;
 use crate::daemon::{
-    account_frame_out, account_handshake, handle_client_frame, ConnAccounting, SharedState,
+    account_frame_out, account_handshake, handle_client_frame, handle_udp_datagram,
+    sweep_udp_sessions, ConnAccounting, SharedState,
 };
 use crate::reactor::{Interest, PollEvent, Poller};
 
@@ -62,9 +63,12 @@ use crate::reactor::{Interest, PollEvent, Poller};
 const DATA_LISTENER: u64 = 0;
 /// Poll token of the admin listener in every worker.
 const ADMIN_LISTENER: u64 = 1;
+/// Poll token of the UDP data socket in every worker (registered only when
+/// the datagram transport is enabled).
+const UDP_SOCKET: u64 = 2;
 /// First token handed to an accepted connection; tokens are per-worker and
 /// never reused.
-const FIRST_CONN_TOKEN: u64 = 2;
+const FIRST_CONN_TOKEN: u64 = 3;
 
 /// Poll timeout: the granularity of the timeout sweep and the stop check.
 const TICK: Duration = Duration::from_millis(25);
@@ -81,6 +85,28 @@ const MAX_ADMIN_LINE: usize = 1 << 20;
 /// Caps auto-detected worker counts: reconciliation serving is cache reads
 /// plus memcpys, which saturate a NIC long before four cores.
 const MAX_AUTO_WORKERS: usize = 4;
+
+/// Most datagrams one readiness event will pump before yielding back to the
+/// poll loop (level-triggered polling re-notifies leftovers).
+const UDP_DATAGRAM_BUDGET: usize = 256;
+
+/// How often each worker sweeps idle UDP sessions.
+const UDP_SWEEP_EVERY: Duration = Duration::from_millis(500);
+
+/// Cap on the per-connection drain grace after a shutdown is observed. The
+/// grace tracks the read timeout (a peer mid-request deserves its normal
+/// window to finish) but an extreme `read_timeout` must not let draining
+/// extend unboundedly — shutdown latency is a liveness property.
+const DRAIN_GRACE_CAP: Duration = Duration::from_secs(5);
+
+/// Grace a reactor worker gives live connections to finish once it observes
+/// the shutdown flag: the read timeout, capped at `DRAIN_GRACE_CAP` (5s), plus
+/// one second of flush slack. Computed exactly once per worker when the
+/// flag is first observed, so no configuration or clock skew can push the
+/// deadline out after draining starts.
+pub fn drain_grace(read_timeout: Duration) -> Duration {
+    read_timeout.min(DRAIN_GRACE_CAP) + Duration::from_secs(1)
+}
 
 /// Resolves [`reactor_workers`](crate::daemon::DaemonConfig::reactor_workers)
 /// (0 = auto: the machine's parallelism, capped at 4).
@@ -99,25 +125,27 @@ pub fn effective_workers(configured: usize) -> usize {
 pub(crate) fn spawn_workers<S: Symbol + Ord + Send + 'static>(
     data_listener: TcpListener,
     admin_listener: TcpListener,
+    udp_socket: Option<UdpSocket>,
     shared: &Arc<SharedState<S>>,
 ) -> io::Result<Vec<JoinHandle<()>>> {
     let workers = effective_workers(shared.config.reactor_workers);
     shared.metrics.reactor_workers.set(workers as i64);
-    // Dup the listener fds up front so clone failures surface as a spawn
-    // error instead of a half-started pool.
+    // Dup the listener (and UDP socket) fds up front so clone failures
+    // surface as a spawn error instead of a half-started pool.
     let mut listeners = Vec::with_capacity(workers);
     for _ in 1..workers {
-        listeners.push((data_listener.try_clone()?, admin_listener.try_clone()?));
+        let udp = udp_socket.as_ref().map(|s| s.try_clone()).transpose()?;
+        listeners.push((data_listener.try_clone()?, admin_listener.try_clone()?, udp));
     }
-    listeners.push((data_listener, admin_listener));
+    listeners.push((data_listener, admin_listener, udp_socket));
 
     let mut handles = Vec::with_capacity(workers);
-    for (index, (data, admin)) in listeners.into_iter().enumerate() {
+    for (index, (data, admin, udp)) in listeners.into_iter().enumerate() {
         let worker_shared = Arc::clone(shared);
         handles.push(
             thread::Builder::new()
                 .name(format!("reconciled-reactor-{index}"))
-                .spawn(move || worker_loop(data, admin, worker_shared))?,
+                .spawn(move || worker_loop(data, admin, udp, worker_shared))?,
         );
     }
     Ok(handles)
@@ -212,11 +240,20 @@ impl Conn {
         self.outbuf.len() - self.out_start
     }
 
-    /// Stages one length-prefixed frame for writing.
-    fn queue_frame(&mut self, body: &[u8]) {
+    /// Stages one length-prefixed frame for writing. Returns false (staging
+    /// nothing) when the body exceeds [`MAX_FRAME_BYTES`] — beyond what any
+    /// compliant peer would accept, and past `u32::MAX` the `as u32` length
+    /// prefix would silently truncate into a desynchronized stream. The
+    /// caller must treat false as a connection-fatal error.
+    #[must_use]
+    fn queue_frame(&mut self, body: &[u8]) -> bool {
+        if body.len() > MAX_FRAME_BYTES {
+            return false;
+        }
         self.outbuf
             .extend_from_slice(&(body.len() as u32).to_le_bytes());
         self.outbuf.extend_from_slice(body);
+        true
     }
 
     /// Writes as much of the staged bytes as the socket accepts right now.
@@ -263,6 +300,7 @@ impl Conn {
 fn worker_loop<S: Symbol + Ord>(
     data_listener: TcpListener,
     admin_listener: TcpListener,
+    udp_socket: Option<UdpSocket>,
     shared: Arc<SharedState<S>>,
 ) {
     let poller = match Poller::new() {
@@ -281,6 +319,12 @@ fn worker_loop<S: Symbol + Ord>(
             return;
         }
     }
+    if let Some(socket) = &udp_socket {
+        if let Err(e) = poller.register(socket.as_raw_fd(), UDP_SOCKET, Interest::READ) {
+            eprintln!("reconciled: reactor UDP registration failed: {e}");
+            return;
+        }
+    }
     let config = &shared.config;
     let local_hello = Hello::new(config.key, config.shards, config.symbol_len);
 
@@ -290,14 +334,20 @@ fn worker_loop<S: Symbol + Ord>(
     let mut scratch = vec![0u8; 65_536];
     let mut draining = false;
     let mut drain_deadline = Instant::now();
+    let mut last_udp_sweep = Instant::now();
 
     loop {
         let now = Instant::now();
         if shared.stop.load(Ordering::SeqCst) && !draining {
+            // The deadline is computed exactly once, from a capped grace —
+            // a large read_timeout must not stretch shutdown unboundedly.
             draining = true;
-            drain_deadline = now + config.read_timeout + Duration::from_secs(1);
+            drain_deadline = now + drain_grace(config.read_timeout);
             let _ = poller.deregister(data_listener.as_raw_fd());
             let _ = poller.deregister(admin_listener.as_raw_fd());
+            if let Some(socket) = &udp_socket {
+                let _ = poller.deregister(socket.as_raw_fd());
+            }
             // Drain: flush every connection's staged replies, drop unread
             // requests — the same cutoff the blocking loop applies when it
             // notices the stop flag between frames.
@@ -349,7 +399,12 @@ fn worker_loop<S: Symbol + Ord>(
                     &shared,
                     now,
                 ),
-                DATA_LISTENER | ADMIN_LISTENER => {}
+                UDP_SOCKET if !draining => {
+                    if let Some(socket) = &udp_socket {
+                        udp_ready(socket, &shared, &mut scratch);
+                    }
+                }
+                DATA_LISTENER | ADMIN_LISTENER | UDP_SOCKET => {}
                 token => {
                     if let Some(conn) = conns.get_mut(&token) {
                         handle_conn_event(&shared, &local_hello, conn, event, &mut scratch, now);
@@ -363,6 +418,10 @@ fn worker_loop<S: Symbol + Ord>(
         // writers against the write timeout — measured from the last byte
         // the peer *accepted*, so a slow-but-draining reader never trips.
         let now = Instant::now();
+        if udp_socket.is_some() && now.duration_since(last_udp_sweep) >= UDP_SWEEP_EVERY {
+            last_udp_sweep = now;
+            sweep_udp_sessions(&shared);
+        }
         let expired: Vec<(u64, bool)> = conns
             .iter()
             .filter_map(|(&token, conn)| {
@@ -440,6 +499,23 @@ fn accept_ready<S: Symbol + Ord>(
             continue;
         }
         conns.insert(token, conn);
+    }
+}
+
+/// Pumps every pending datagram off a ready UDP socket, up to the per-event
+/// budget. Sessions are keyed by cookie in the daemon-wide table, so it
+/// does not matter which worker wins the race for any given datagram.
+fn udp_ready<S: Symbol + Ord>(socket: &UdpSocket, shared: &SharedState<S>, scratch: &mut [u8]) {
+    for _ in 0..UDP_DATAGRAM_BUDGET {
+        match socket.recv_from(scratch) {
+            Ok((len, peer)) => handle_udp_datagram(socket, shared, peer, &scratch[..len]),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => {
+                eprintln!("reconciled: udp recv error: {e}");
+                return;
+            }
+        }
     }
 }
 
@@ -537,7 +613,7 @@ fn pump<S: Symbol + Ord>(
                         Err(e) => {
                             // Best-effort reject — the exact bytes the blocking
                             // handshake writes for a garbage hello.
-                            conn.queue_frame(&reject_frame_bytes(RejectReason::Malformed));
+                            let _ = conn.queue_frame(&reject_frame_bytes(RejectReason::Malformed));
                             observe_handshake(shared, conn);
                             begin_close(shared, conn, Close::Handshake(e.to_string()));
                             break;
@@ -545,13 +621,15 @@ fn pump<S: Symbol + Ord>(
                     };
                     match validate_client_hello(&client, local_hello) {
                         Ok(()) => {
-                            conn.queue_frame(&local_hello.to_bytes());
+                            if !conn.queue_frame(&local_hello.to_bytes()) {
+                                unreachable!("an 18-byte hello always fits a frame");
+                            }
                             account_handshake(shared, &mut conn.acct);
                             observe_handshake(shared, conn);
                             conn.state = ConnState::Serving;
                         }
                         Err(reason) => {
-                            conn.queue_frame(&reject_frame_bytes(reason));
+                            let _ = conn.queue_frame(&reject_frame_bytes(reason));
                             observe_handshake(shared, conn);
                             begin_close(
                                 shared,
@@ -573,8 +651,21 @@ fn pump<S: Symbol + Ord>(
                     };
                     match handle_client_frame(shared, &mut conn.offsets, &frame, &mut conn.acct) {
                         Ok(Some(reply)) => {
+                            if !conn.queue_frame(&reply) {
+                                // An oversized reply body would truncate its
+                                // u32 length prefix and desynchronize the
+                                // stream; error the connection instead.
+                                begin_close(
+                                    shared,
+                                    conn,
+                                    Close::Error(format!(
+                                        "reply frame of {} bytes exceeds the {MAX_FRAME_BYTES}-byte frame bound",
+                                        reply.len()
+                                    )),
+                                );
+                                break;
+                            }
                             account_frame_out(shared, &mut conn.acct, reply.len());
-                            conn.queue_frame(&reply);
                         }
                         Ok(None) => {}
                         Err(e) => {

@@ -21,7 +21,7 @@
 //! thread (`threads: 1`) so a thousand clients do not ask for a thousand
 //! decode pools.
 
-use std::net::TcpStream;
+use std::net::{TcpStream, UdpSocket};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Barrier, Mutex};
 use std::thread;
@@ -30,7 +30,7 @@ use std::time::{Duration, Instant};
 use reconcile_core::backends::RibltBackend;
 use riblt::FixedBytes;
 use riblt_hash::SipKey;
-use statesync::{sync_sharded_tcp, TcpSyncConfig};
+use statesync::{sync_sharded_tcp, sync_sharded_udp, TcpSyncConfig, UdpSyncConfig};
 
 /// The item type the load generator speaks — the same 8-byte items the
 /// `reconciled`/`reconcile-client` binaries use.
@@ -38,6 +38,17 @@ pub type Item = FixedBytes<8>;
 
 /// Item length of [`Item`] in bytes.
 pub const ITEM_LEN: usize = 8;
+
+/// Which transport the synthetic clients dial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Transport {
+    /// Stream transport: one TCP connection per round, framed mux protocol.
+    #[default]
+    Tcp,
+    /// Datagram transport: one UDP socket per round, cookie-session
+    /// protocol ([`statesync::sync_sharded_udp`]).
+    Udp,
+}
 
 /// Workload shape for [`run`].
 #[derive(Debug, Clone)]
@@ -61,8 +72,12 @@ pub struct LoadgenConfig {
     pub reconnect: bool,
     /// Shared keyed-hash key — must match the daemon's.
     pub key: SipKey,
-    /// Client-side socket read timeout.
+    /// Client-side socket read timeout (UDP: the overall sync deadline).
     pub read_timeout: Duration,
+    /// Transport the clients dial ([`Transport::Tcp`] by default; the
+    /// `reconnect` knob is meaningless over UDP, where every round is a
+    /// fresh session anyway).
+    pub transport: Transport,
 }
 
 impl Default for LoadgenConfig {
@@ -75,6 +90,7 @@ impl Default for LoadgenConfig {
             reconnect: false,
             key: SipKey::default(),
             read_timeout: Duration::from_secs(30),
+            transport: Transport::Tcp,
         }
     }
 }
@@ -221,6 +237,21 @@ fn client_main(
     let local = client_items(config.base_items, staleness);
     let expected_diffs = 2 * staleness as usize;
 
+    if config.transport == Transport::Udp {
+        return client_main_udp(
+            &local,
+            expected_diffs,
+            addr,
+            config,
+            barrier,
+            syncs_ok,
+            syncs_failed,
+            diffs_total,
+            units_total,
+            latencies,
+        );
+    }
+
     // Connect before the barrier: when the fleet starts syncing, every
     // connection already exists — concurrency is the configured count.
     let mut conn = connect(addr, config);
@@ -285,6 +316,84 @@ fn client_main(
             }
         }
     }
+}
+
+/// UDP counterpart of the TCP round loop: every round is a fresh socket
+/// and a fresh cookie session (there is no connection to reuse, so the
+/// `reconnect` knob does not apply).
+#[allow(clippy::too_many_arguments)]
+fn client_main_udp(
+    local: &[Item],
+    expected_diffs: usize,
+    addr: &str,
+    config: &LoadgenConfig,
+    barrier: &Barrier,
+    syncs_ok: &AtomicUsize,
+    syncs_failed: &AtomicUsize,
+    diffs_total: &AtomicUsize,
+    units_total: &AtomicUsize,
+    latencies: &Mutex<Vec<Duration>>,
+) {
+    // Bind before the barrier so the fleet's sockets all exist when the
+    // measured window opens, mirroring the TCP pre-connect.
+    let mut socket = udp_connect(addr);
+    barrier.wait();
+
+    for round in 0..config.rounds {
+        if round > 0 {
+            socket = udp_connect(addr);
+        }
+        let Some(conduit) = socket.as_mut() else {
+            syncs_failed.fetch_add(1, Ordering::Relaxed);
+            continue;
+        };
+        let t0 = Instant::now();
+        let result = sync_sharded_udp(
+            conduit,
+            local,
+            |_| {
+                RibltBackend::<Item>::with_key_and_alpha(
+                    ITEM_LEN,
+                    32,
+                    config.key,
+                    riblt::DEFAULT_ALPHA,
+                )
+            },
+            &UdpSyncConfig {
+                key: config.key,
+                symbol_len: ITEM_LEN,
+                deadline: config.read_timeout,
+                ..Default::default()
+            },
+        );
+        let elapsed = t0.elapsed();
+        match result {
+            Ok((round_diffs, outcome)) => {
+                let recovered: usize = round_diffs
+                    .iter()
+                    .map(|d| d.remote_only.len() + d.local_only.len())
+                    .sum();
+                if recovered == expected_diffs {
+                    syncs_ok.fetch_add(1, Ordering::Relaxed);
+                    diffs_total.fetch_add(recovered, Ordering::Relaxed);
+                    units_total.fetch_add(outcome.units, Ordering::Relaxed);
+                    obs::lock_unpoisoned(latencies).push(elapsed);
+                } else {
+                    syncs_failed.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Err(_) => {
+                syncs_failed.fetch_add(1, Ordering::Relaxed);
+                drop(socket.take());
+            }
+        }
+    }
+}
+
+fn udp_connect(addr: &str) -> Option<UdpSocket> {
+    let socket = UdpSocket::bind("0.0.0.0:0").ok()?;
+    socket.connect(addr).ok()?;
+    Some(socket)
 }
 
 fn connect(addr: &str, config: &LoadgenConfig) -> Option<TcpStream> {

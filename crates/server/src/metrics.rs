@@ -56,6 +56,14 @@ pub struct DaemonMetrics {
     /// Times a reactor connection crossed its write-buffer high-water mark
     /// and had its request processing paused until the peer drained.
     pub backpressure_pauses: Arc<Counter>,
+    /// Datagrams received on the UDP transport (`direction="in"`).
+    pub udp_datagrams_in: Arc<Counter>,
+    /// Datagrams sent on the UDP transport (`direction="out"`).
+    pub udp_datagrams_out: Arc<Counter>,
+    /// UDP sessions established by a datagram handshake.
+    pub udp_sessions_opened: Arc<Counter>,
+    /// UDP sessions swept after going idle without a `Done`.
+    pub udp_sessions_expired: Arc<Counter>,
 
     /// Data + admin connections currently open.
     pub connections_active: Arc<Gauge>,
@@ -154,6 +162,25 @@ impl DaemonMetrics {
             "reconciled_backpressure_pauses_total",
             "Connections paused at their write-buffer high-water mark until the peer drained.",
         );
+        let udp_help = "Datagrams moved on the UDP transport, headers included.";
+        let udp_datagrams_in = registry.counter_with(
+            "reconciled_udp_datagrams_total",
+            udp_help,
+            &[("direction", "in")],
+        );
+        let udp_datagrams_out = registry.counter_with(
+            "reconciled_udp_datagrams_total",
+            udp_help,
+            &[("direction", "out")],
+        );
+        let udp_sessions_opened = registry.counter(
+            "reconciled_udp_sessions_opened_total",
+            "UDP sessions established by a datagram handshake.",
+        );
+        let udp_sessions_expired = registry.counter(
+            "reconciled_udp_sessions_expired_total",
+            "UDP sessions swept after going idle without completing.",
+        );
 
         let connections_active = registry.gauge(
             "reconciled_connections_active",
@@ -210,6 +237,10 @@ impl DaemonMetrics {
             symbols_served,
             serve_cpu_nanos,
             backpressure_pauses,
+            udp_datagrams_in,
+            udp_datagrams_out,
+            udp_sessions_opened,
+            udp_sessions_expired,
             connections_active,
             reactor_workers,
             items,

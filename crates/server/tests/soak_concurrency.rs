@@ -217,8 +217,16 @@ fn shutdown_under_load_drains_without_hanging() {
     assert!(goodbye.starts_with("BYE"), "{goodbye}");
 
     // The drain must complete promptly: staged replies flushed, every
-    // connection closed, all worker threads joined. A watchdog turns a
+    // connection closed, all worker threads joined. The deadline is the
+    // *capped* drain grace — this daemon's 30s read_timeout must not buy
+    // the drain 30 seconds — plus scheduling slack; a watchdog turns a
     // wedged drain into a failure instead of a hung test binary.
+    let drain_bound = server::event::drain_grace(Duration::from_secs(30)) + Duration::from_secs(5);
+    assert!(
+        drain_bound < Duration::from_secs(30),
+        "drain grace must be capped well below the watchdog, got {drain_bound:?}"
+    );
+    let drain_started = Instant::now();
     let (done_tx, done_rx) = mpsc::channel();
     let waiter = thread::Builder::new()
         .name("drain-waiter".into())
@@ -230,6 +238,11 @@ fn shutdown_under_load_drains_without_hanging() {
     done_rx
         .recv_timeout(Duration::from_secs(30))
         .expect("daemon failed to drain within 30s of SHUTDOWN under load");
+    let drained_in = drain_started.elapsed();
+    assert!(
+        drained_in <= drain_bound,
+        "drain took {drained_in:?}, exceeding the capped grace bound {drain_bound:?}"
+    );
     waiter.join().unwrap();
 
     // Every client settles (ok or clean error) and the listener is gone.

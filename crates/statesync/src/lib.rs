@@ -25,6 +25,7 @@ pub mod metrics;
 pub mod shard_sync;
 pub mod sync;
 pub mod tcp_sync;
+pub mod udp_sync;
 
 pub use chain::{BlockUpdate, Chain, ChainConfig};
 pub use heal_backend::HealBackend;
@@ -40,3 +41,6 @@ pub use sync::{
     sync_with_backend, sync_with_heal, sync_with_riblt, HealSyncConfig, RibltSyncConfig, SyncConfig,
 };
 pub use tcp_sync::{sync_sharded_tcp, TcpSyncConfig, TcpSyncOutcome};
+pub use udp_sync::{
+    sync_sharded_udp, DatagramConduit, LossyConduit, UdpSyncConfig, UdpSyncOutcome,
+};
